@@ -1,0 +1,71 @@
+"""Ablation: optimal split vs. operator heuristics across the load range.
+
+Beyond-the-paper study: how much response time the optimization buys
+relative to equal-split, raw-capacity-proportional, spare-capacity-
+proportional, and fastest-first policies, at low/medium/high load on
+the published system.  Expected shape: all heuristics within a few
+percent at low load; equal-split and fastest-first blow up (or go
+infeasible) at high load; spare-proportional stays closest but never
+beats the optimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.comparison import compare_policies
+from repro.workloads import example_group
+
+LOAD_FRACTIONS = (0.3, 0.6, 0.9)
+
+
+@pytest.fixture(scope="module")
+def group():
+    return example_group()
+
+
+@pytest.mark.parametrize("load", LOAD_FRACTIONS)
+def test_policy_gap_fcfs(benchmark, group, load):
+    lam = load * group.max_generic_rate
+    comp = benchmark.pedantic(
+        compare_policies, args=(group, lam, "fcfs"), rounds=1, iterations=1
+    )
+    print()
+    print(comp.render())
+    by_name = {o.policy: o for o in comp.outcomes}
+    # The optimum is the floor.
+    for o in comp.outcomes:
+        if o.feasible:
+            assert o.degradation >= 1.0 - 1e-12
+    # Spare-proportional is the strongest heuristic and stays feasible.
+    assert by_name["spare-proportional"].feasible
+    assert by_name["spare-proportional"].degradation < 1.2
+    # The gap (for feasible heuristics) widens with load.
+    if load >= 0.6:
+        eq = by_name["equal-split"]
+        if eq.feasible:
+            assert eq.degradation > by_name["spare-proportional"].degradation
+
+
+def test_equal_split_breaks_near_saturation(benchmark, group):
+    lam = 0.97 * group.max_generic_rate
+    comp = benchmark.pedantic(
+        compare_policies, args=(group, lam, "fcfs"), rounds=1, iterations=1
+    )
+    by_name = {o.policy: o for o in comp.outcomes}
+    assert not by_name["equal-split"].feasible
+    assert math.isinf(by_name["equal-split"].degradation)
+    assert by_name["optimal"].feasible
+
+
+@pytest.mark.parametrize("load", [0.6])
+def test_policy_gap_priority(benchmark, group, load):
+    lam = load * group.max_generic_rate
+    comp = benchmark.pedantic(
+        compare_policies, args=(group, lam, "priority"), rounds=1, iterations=1
+    )
+    print()
+    print(comp.render())
+    assert comp.optimal.degradation == pytest.approx(1.0)

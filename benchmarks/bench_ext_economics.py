@@ -1,0 +1,52 @@
+"""Extension bench: profit-maximizing admission control.
+
+Sweeps the SLA tolerance and reports how the profit-maximizing
+admission level moves — tighter SLAs force the provider to run the
+fleet cooler.  Also times the full admission optimization (grid +
+Brent polish with an inner optimal-distribution solve per evaluation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.economics import LinearDecayRevenue, optimize_admission
+from repro.workloads import example_group
+
+
+def test_admission_vs_sla_tightness(benchmark):
+    group = example_group()
+
+    def sweep():
+        rows = []
+        for deadline in (2.0, 3.0, 4.0, 6.0, 10.0):
+            sla = LinearDecayRevenue(
+                price=1.0, free_threshold=1.0, deadline=deadline
+            )
+            rows.append((deadline, optimize_admission(group, sla)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for deadline, res in rows:
+        print(
+            f"  deadline {deadline:5.1f}s: admit {res.admitted_rate:6.2f} "
+            f"({res.load_fraction:.0%} of saturation), "
+            f"profit {res.profit:7.3f}/s"
+        )
+    fractions = [r.load_fraction for _, r in rows]
+    profits = [r.profit for _, r in rows]
+    # Looser SLAs admit more and earn more.
+    assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(profits, profits[1:]))
+    # Even the loosest SLA stops short of saturation.
+    assert fractions[-1] < 0.999
+
+
+def test_admission_solver_speed(benchmark):
+    group = example_group()
+    sla = LinearDecayRevenue(price=1.0, free_threshold=1.0, deadline=4.0)
+    res = benchmark.pedantic(
+        optimize_admission, args=(group, sla), rounds=2, iterations=1
+    )
+    assert res.profit > 0.0

@@ -1,0 +1,67 @@
+"""Extension bench: K-class priority ladders (generalized Theorem 2).
+
+Measures the cost, for generic tasks, of sinking deeper in a dedicated
+priority ladder on the Example-1 hardware — the K-class generalization
+of the paper's two-class comparison (Table 1 vs. Table 2) — and times
+the multiclass evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multiclass import MulticlassStation, generic_response_time_multiclass
+
+
+def test_ladder_depth_cost(benchmark):
+    """Generic T on one server as the dedicated ladder deepens."""
+    m, xbar = 8, 0.7692308  # server 4 of the paper's example
+    lam_g = 3.9
+    total_dedicated = 3.12  # same dedicated volume, split into K classes
+
+    def sweep():
+        out = {}
+        for k in (1, 2, 4, 8):
+            dedicated = [total_dedicated / k] * k
+            out[k] = generic_response_time_multiclass(
+                m, xbar, lam_g, dedicated
+            )
+        return out
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for k, t in times.items():
+        print(f"  {k} dedicated classes above generic: T' = {t:.6f}")
+    # Splitting a fixed dedicated volume into more classes does not
+    # change the generic class's wait (only cumulative utilization of
+    # everything above it matters) — a sharp structural prediction.
+    vals = np.array(list(times.values()))
+    assert np.allclose(vals, vals[0], rtol=1e-12)
+
+
+def test_generic_position_cost(benchmark):
+    """Cost of each possible slot in a 3-class dedicated ladder."""
+    m, xbar = 8, 0.7692308
+    lam_g = 3.9
+    dedicated = [1.0, 1.0, 1.12]
+
+    def sweep():
+        return [
+            generic_response_time_multiclass(m, xbar, lam_g, dedicated, level)
+            for level in range(4)
+        ]
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for level, t in enumerate(times):
+        print(f"  generic at level {level}: T' = {t:.6f}")
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_multiclass_throughput(benchmark):
+    """Raw evaluation speed of a 10-class station (library hot path)."""
+    station = MulticlassStation(16, 0.8, tuple([0.8] * 10))
+    waits = benchmark(station.waiting_times)
+    assert waits.shape == (10,)
+    assert station.conservation_gap() < 1e-10

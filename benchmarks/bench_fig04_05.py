@@ -1,0 +1,42 @@
+"""Benchmarks + reproduction of Figs. 4–5: impact of server sizes.
+
+Five seven-server groups with total blade counts 49, 53, 56, 59, 63
+(speeds ``s_i = 1.7 - 0.1 i``, 30% preload).  Paper findings to
+reproduce: ``T'`` grows with ``lambda'`` and diverges at saturation;
+slightly larger total size noticeably reduces ``T'``, especially at
+high load; priority curves (Fig. 5) sit above FCFS curves (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from _figure_checks import (
+    assert_better_curve_ordering,
+    assert_blowup_near_saturation,
+    assert_monotone_in_load,
+    assert_priority_dominates,
+)
+from conftest import FIGURE_POINTS
+
+
+def test_fig4_sizes_fcfs(run_once):
+    fig = run_once(run_experiment, "fig4", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    assert_blowup_near_saturation(fig)
+    # Group 5 (m=63) beats Group 1 (m=49) at high load.
+    assert_better_curve_ordering(fig, better_index=4, worse_index=0)
+
+
+def test_fig5_sizes_priority(run_once):
+    fig = run_once(run_experiment, "fig5", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    assert_blowup_near_saturation(fig)
+    assert_better_curve_ordering(fig, better_index=4, worse_index=0)
+    # Cross-check discipline dominance on the same grid.
+    fcfs = run_experiment("fig4", points=FIGURE_POINTS)
+    assert_priority_dominates(fcfs, fig)

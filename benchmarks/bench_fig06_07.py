@@ -1,0 +1,39 @@
+"""Benchmarks + reproduction of Figs. 6–7: impact of server speeds.
+
+Speed families ``s_i = s - 0.1 i`` for ``s = 1.5 .. 1.9`` on the
+``m_i = 2i`` group.  Paper findings: slight speed increments noticeably
+reduce ``T'`` (especially at high load); priority dominates FCFS.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from _figure_checks import (
+    assert_better_curve_ordering,
+    assert_blowup_near_saturation,
+    assert_monotone_in_load,
+    assert_priority_dominates,
+)
+from conftest import FIGURE_POINTS
+
+
+def test_fig6_speeds_fcfs(run_once):
+    fig = run_once(run_experiment, "fig6", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    assert_blowup_near_saturation(fig)
+    # s=1.9 (index 4) beats s=1.5 (index 0) at high load.
+    assert_better_curve_ordering(fig, better_index=4, worse_index=0)
+
+
+def test_fig7_speeds_priority(run_once):
+    fig = run_once(run_experiment, "fig7", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    assert_blowup_near_saturation(fig)
+    assert_better_curve_ordering(fig, better_index=4, worse_index=0)
+    fcfs = run_experiment("fig6", points=FIGURE_POINTS)
+    assert_priority_dominates(fcfs, fig)

@@ -1,0 +1,41 @@
+"""Benchmarks + reproduction of Figs. 8–9: impact of the task requirement.
+
+``rbar = 0.8 .. 1.2`` on the standard group.  Paper findings: larger
+``rbar`` noticeably *increases* ``T'`` (curve ordering flips relative
+to the size/speed figures), with the effect amplified at high load.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from _figure_checks import (
+    assert_better_curve_ordering,
+    assert_blowup_near_saturation,
+    assert_monotone_in_load,
+    assert_priority_dominates,
+)
+from conftest import FIGURE_POINTS
+
+
+def test_fig8_requirement_fcfs(run_once):
+    fig = run_once(run_experiment, "fig8", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    assert_blowup_near_saturation(fig)
+    # rbar=0.8 (index 0) beats rbar=1.2 (index 4) — at *every* load, since
+    # cheaper tasks help even when the system is idle.
+    assert (fig.values[0] < fig.values[4]).all()
+    assert_better_curve_ordering(fig, better_index=0, worse_index=4)
+
+
+def test_fig9_requirement_priority(run_once):
+    fig = run_once(run_experiment, "fig9", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    assert_blowup_near_saturation(fig)
+    assert (fig.values[0] < fig.values[4]).all()
+    fcfs = run_experiment("fig8", points=FIGURE_POINTS)
+    assert_priority_dominates(fcfs, fig)

@@ -1,0 +1,42 @@
+"""Benchmarks + reproduction of Figs. 10–11: impact of special-task load.
+
+Preload fractions ``y = 0.20 .. 0.40`` on the standard group.  Paper
+findings: heavier preload increases ``T'`` at every load (it both
+steals capacity and adds queueing contention), with the gap exploding
+as ``lambda'`` approaches the reduced saturation point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from _figure_checks import (
+    assert_blowup_near_saturation,
+    assert_monotone_in_load,
+    assert_priority_dominates,
+)
+from conftest import FIGURE_POINTS
+
+
+def test_fig10_special_load_fcfs(run_once):
+    fig = run_once(run_experiment, "fig10", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    assert_blowup_near_saturation(fig)
+    # y=0.20 (index 0) beats y=0.40 (index 4) everywhere, and the
+    # ordering is monotone across the whole family.
+    for i in range(4):
+        assert (fig.values[i] < fig.values[i + 1]).all()
+
+
+def test_fig11_special_load_priority(run_once):
+    fig = run_once(run_experiment, "fig11", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    assert_blowup_near_saturation(fig)
+    for i in range(4):
+        assert (fig.values[i] < fig.values[i + 1]).all()
+    fcfs = run_experiment("fig10", points=FIGURE_POINTS)
+    assert_priority_dominates(fcfs, fig)

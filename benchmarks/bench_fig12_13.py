@@ -1,0 +1,47 @@
+"""Benchmarks + reproduction of Figs. 12–13: server *size* heterogeneity.
+
+Five groups with identical aggregate capacity (56 blades at speed 1.3,
+identical total special load 21.84) but decreasing size spread, Group 1
+most heterogeneous → Group 5 homogeneous.  Paper findings (the
+surprising ones): the five curves nearly coincide, and ``T'`` is
+*slightly increasing* from Group 1 to Group 5 — more heterogeneity is
+(marginally) better under optimal distribution.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+from _figure_checks import (
+    assert_heterogeneity_ordering,
+    assert_monotone_in_load,
+    assert_nearly_coincident,
+    assert_priority_dominates,
+)
+from conftest import FIGURE_POINTS
+
+
+def test_fig12_size_heterogeneity_fcfs(run_once):
+    fig = run_once(run_experiment, "fig12", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    # "Almost identical" curves: within 25% of each other even at the
+    # 95%-of-saturation endpoint (and within ~1% at moderate load).
+    assert_nearly_coincident(fig, rel_spread=0.25)
+    mid = fig.values.shape[1] // 2
+    spread_mid = fig.values[:, mid].max() / fig.values[:, mid].min() - 1.0
+    assert spread_mid < 0.05
+    # Group 1 (most heterogeneous) <= ... <= Group 5 (homogeneous).
+    assert_heterogeneity_ordering(fig)
+
+
+def test_fig13_size_heterogeneity_priority(run_once):
+    fig = run_once(run_experiment, "fig13", points=FIGURE_POINTS)
+    print()
+    print(fig.render())
+    assert_monotone_in_load(fig)
+    assert_nearly_coincident(fig, rel_spread=0.25)
+    assert_heterogeneity_ordering(fig)
+    fcfs = run_experiment("fig12", points=FIGURE_POINTS)
+    assert_priority_dominates(fcfs, fig)

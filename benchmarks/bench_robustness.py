@@ -1,0 +1,115 @@
+"""Extension bench: robustness of the M/M/m-optimal split.
+
+Two misspecification studies on a scaled-down Example-1 fleet:
+
+* **Service-law mismatch** — simulate the M/M/m-optimal split under
+  SCV 0 (deterministic), 0.5 (Erlang-2), 1 (exponential control), and
+  4 (hyperexponential) requirements.  Expected drift follows the
+  Pollaczek–Khinchine intuition: low SCV beats the prediction, high
+  SCV exceeds it.
+* **Preload misestimation** — the optimizer believes the preload is
+  ``y = 0.3`` while the truth varies; reports the regret against an
+  oracle, including the saturation cliff when the preload is grossly
+  underestimated at high load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    preload_misestimation,
+    service_law_mismatch,
+)
+from repro.core.server import BladeServerGroup
+from repro.sim.requirements import (
+    DeterministicRequirement,
+    ErlangRequirement,
+    ExponentialRequirement,
+    HyperExponentialRequirement,
+)
+
+
+@pytest.fixture(scope="module")
+def group():
+    return BladeServerGroup.with_special_fraction(
+        sizes=[2, 4, 6], speeds=[1.4, 1.2, 1.0], fraction=0.3
+    )
+
+
+def test_service_law_mismatch_sweep(benchmark, group):
+    lam = 0.7 * group.max_generic_rate
+    dists = [
+        DeterministicRequirement(group.rbar),
+        ErlangRequirement(group.rbar, k=2),
+        ExponentialRequirement(group.rbar),
+        HyperExponentialRequirement(group.rbar, scv=4.0),
+    ]
+
+    def sweep():
+        return [
+            service_law_mismatch(
+                group, lam, d, horizon=5_000.0, warmup=500.0, seed=17
+            )
+            for d in dists
+        ]
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for rep in reports:
+        print(
+            f"  SCV {rep.scv:4.1f}: predicted {rep.predicted:.4f}, "
+            f"simulated {rep.simulated:.4f}, drift {rep.drift:.3f}"
+        )
+    drifts = [r.drift for r in reports]
+    # Drift is increasing in SCV, brackets 1 at the exponential control.
+    assert all(b > a for a, b in zip(drifts, drifts[1:]))
+    assert drifts[0] < 1.0 < drifts[-1]
+    assert drifts[2] == pytest.approx(1.0, abs=0.06)  # control
+
+
+def test_preload_misestimation_sweep(benchmark, group):
+    lam = 0.6 * group.max_generic_rate
+
+    def sweep():
+        rows = []
+        for true_y in (0.2, 0.3, 0.4, 0.5):
+            true_rates = true_y * group.sizes * group.speeds / group.rbar
+            rep = preload_misestimation(group, true_rates, lam)
+            rows.append((true_y, rep))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for true_y, rep in rows:
+        realized = "saturated" if rep.saturated else f"{rep.realized:.4f}"
+        print(
+            f"  assumed y=0.30, true y={true_y:.2f}: realized {realized}, "
+            f"oracle {rep.oracle:.4f}, regret {rep.regret:.4f}"
+        )
+    by_y = dict(rows)
+    assert by_y[0.3].regret == pytest.approx(1.0, rel=1e-9)  # exact estimate
+    assert by_y[0.4].regret >= 1.0
+    assert by_y[0.5].regret >= by_y[0.4].regret  # worse estimate, worse regret
+
+
+def test_misestimation_saturation_cliff(benchmark, group):
+    """At high load, underestimating the preload overloads servers."""
+    lam = 0.92 * group.max_generic_rate
+
+    def run():
+        # True preload is 35% while the optimizer assumed 30%: the
+        # instance is still feasible for an oracle (true capacity
+        # exceeds lam), but the stale split overloads the big server.
+        true_rates = 0.35 * group.sizes * group.speeds / group.rbar
+        true_cap = float(
+            (group.sizes * group.speeds / group.rbar - true_rates).sum()
+        )
+        return preload_misestimation(group, true_rates, lam), true_cap
+
+    rep, true_cap = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  lam = {lam:.2f} vs true capacity {true_cap:.2f}: "
+          f"{'saturated' if rep.saturated else 'survived'}")
+    assert rep.saturated
+    assert np.any(rep.utilizations >= 1.0)

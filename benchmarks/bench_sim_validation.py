@@ -1,0 +1,67 @@
+"""Simulation validation bench: analytic model vs. the DES substrate.
+
+The paper evaluates its model purely analytically; this benchmark runs
+the event-level simulator at the optimizer's distribution on the
+Examples 1/2 system and checks that the measured mean generic response
+time agrees with the closed-form ``T'`` for both disciplines — the
+empirical soundness check the original evaluation lacks.  The timed
+quantity is the full validation pipeline (solve + replicated
+simulation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import validate_model
+from repro.workloads import example_group
+from repro.workloads.paper import EXAMPLE_TOTAL_RATE
+
+
+@pytest.fixture(scope="module")
+def group():
+    return example_group()
+
+
+@pytest.mark.parametrize("disc", ["fcfs", "priority"])
+def test_validate_paper_example(benchmark, group, disc):
+    report = benchmark.pedantic(
+        validate_model,
+        args=(group, EXAMPLE_TOTAL_RATE, disc),
+        kwargs=dict(
+            replications=3,
+            horizon=6_000.0,
+            warmup=600.0,
+            seed=2024,
+            guard_band=0.02,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"{disc}: {report.render()}")
+    assert report.agrees, report.render()
+    assert report.relative_error < 0.05
+    assert float(np.max(np.abs(report.utilization_error))) < 0.03
+
+
+def test_validate_high_load(benchmark, group):
+    """Agreement must survive the harder 80%-of-saturation regime."""
+    lam = 0.8 * group.max_generic_rate
+    report = benchmark.pedantic(
+        validate_model,
+        args=(group, lam, "fcfs"),
+        kwargs=dict(
+            replications=3,
+            horizon=6_000.0,
+            warmup=600.0,
+            seed=7,
+            guard_band=0.03,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"high-load: {report.render()}")
+    assert report.agrees, report.render()

@@ -1,0 +1,34 @@
+"""Benchmark + reproduction of Table 1 (Example 1, FCFS).
+
+Paper reference values: ``T' = 0.8964703`` with the per-server optimal
+rates and utilizations listed in Table 1.  The benchmark times the full
+optimizer (the paper's own nested bisection) on the published instance
+and asserts digit-level agreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import render_table, reproduce_table
+from repro.workloads.paper import (
+    TABLE1_RATES,
+    TABLE1_T_PRIME,
+    TABLE1_UTILIZATIONS,
+)
+
+
+def test_table1_bisection(benchmark):
+    """Time the paper's own algorithm (Figs. 2-3) on Example 1."""
+    table = benchmark(reproduce_table, "fcfs", "bisection")
+    print()
+    print(render_table(table))
+    assert abs(table.t_prime - TABLE1_T_PRIME) < 5e-8
+    assert np.allclose(table.generic_rates, TABLE1_RATES, atol=5e-8)
+    assert np.allclose(table.utilizations, TABLE1_UTILIZATIONS, atol=5e-8)
+
+
+def test_table1_kkt(benchmark):
+    """Time the Brent/KKT backend on the same instance."""
+    table = benchmark(reproduce_table, "fcfs", "kkt")
+    assert abs(table.t_prime - TABLE1_T_PRIME) < 5e-8

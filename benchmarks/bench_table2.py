@@ -1,0 +1,35 @@
+"""Benchmark + reproduction of Table 2 (Example 2, priority).
+
+Paper reference values: ``T' = 0.9209392`` with the per-server optimal
+rates and utilizations listed in Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.tables import render_table, reproduce_table
+from repro.workloads.paper import (
+    TABLE1_T_PRIME,
+    TABLE2_RATES,
+    TABLE2_T_PRIME,
+    TABLE2_UTILIZATIONS,
+)
+
+
+def test_table2_bisection(benchmark):
+    """Time the paper's algorithm on Example 2 (prioritized specials)."""
+    table = benchmark(reproduce_table, "priority", "bisection")
+    print()
+    print(render_table(table))
+    assert abs(table.t_prime - TABLE2_T_PRIME) < 5e-8
+    assert np.allclose(table.generic_rates, TABLE2_RATES, atol=5e-8)
+    assert np.allclose(table.utilizations, TABLE2_UTILIZATIONS, atol=5e-8)
+    # The paper's comparison between the two examples.
+    assert table.t_prime > TABLE1_T_PRIME
+
+
+def test_table2_kkt(benchmark):
+    """Time the Brent/KKT backend on the same instance."""
+    table = benchmark(reproduce_table, "priority", "kkt")
+    assert abs(table.t_prime - TABLE2_T_PRIME) < 5e-8

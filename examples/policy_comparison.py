@@ -1,0 +1,47 @@
+"""What does optimal load distribution buy over simple heuristics?
+
+A question the paper motivates but never answers: how much worse are
+the splits an operator would actually deploy — equal shares,
+proportional-to-capacity, utilization balancing, fastest-first — than
+the queueing-optimal distribution?  This example sweeps the load from
+20% to 95% of saturation and prints each policy's degradation factor
+(T'_policy / T'_optimal), showing where the heuristics fall apart.
+
+Run with::
+
+    python examples/policy_comparison.py
+"""
+
+from repro.analysis import compare_policies
+from repro.workloads import example_group
+
+group = example_group()
+policies = (
+    "optimal",
+    "spare-proportional",
+    "capacity-proportional",
+    "equal-split",
+    "fastest-first",
+)
+
+print(f"system: {group!r}, lambda'_max = {group.max_generic_rate:.2f}")
+print()
+print(f"{'load':>6}" + "".join(f"{p:>23}" for p in policies))
+
+for frac in (0.2, 0.4, 0.6, 0.8, 0.9, 0.95):
+    lam = frac * group.max_generic_rate
+    comp = compare_policies(group, lam, "fcfs", policies=policies)
+    by_name = {o.policy: o for o in comp.outcomes}
+    cells = []
+    for p in policies:
+        o = by_name[p]
+        cells.append(f"{o.degradation:>22.4f}x" if o.feasible else f"{'infeasible':>23}")
+    print(f"{frac:>6.0%}" + "".join(cells))
+
+print()
+print(
+    "reading: spare-proportional (utilization balancing) tracks the\n"
+    "optimum within a few percent; equal-split degrades sharply and\n"
+    "eventually saturates the small fast servers; fastest-first's\n"
+    "utilization cap makes high loads unservable altogether."
+)

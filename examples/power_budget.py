@@ -1,0 +1,55 @@
+"""Power-aware speed scaling: spend watts where the queueing says to.
+
+An extension the paper's conclusion points toward: blade speeds are a
+*choice* (DVFS), and dynamic power scales like ``m_i s_i^alpha`` with
+``alpha ~ 3``.  Given a fleet's blade counts and dedicated workloads,
+`optimize_speeds_under_power` picks the speed vector (and the induced
+optimal load distribution) minimizing the mean generic response time
+within a total power budget.
+
+This example sweeps the budget and shows two effects:
+
+* diminishing returns — each extra watt buys less response time;
+* consolidation pressure — at tight budgets the optimizer slows the
+  small preloaded chassis to near the minimum that keeps their
+  dedicated work stable and pours the remaining watts into the big
+  chassis, where the M/M/m pooling effect pays the most.
+
+Run with::
+
+    python examples/power_budget.py
+"""
+
+import numpy as np
+
+from repro.core.power import optimize_speeds_under_power
+
+SIZES = [2, 4, 6, 8]
+SPECIALS = [0.5, 1.0, 1.5, 2.0]  # dedicated task rates (tasks/s)
+LAMBDA = 6.0  # generic load to place (tasks/s)
+ALPHA = 3.0  # dynamic-power exponent
+
+print(f"fleet: sizes {SIZES}, dedicated rates {SPECIALS}, "
+      f"generic load {LAMBDA} tasks/s, power ~ m s^{ALPHA:.0f}")
+print()
+print(f"{'budget':>8} {'T_opt':>9} {'total W':>9}  speeds")
+
+previous = None
+for budget in (25.0, 35.0, 50.0, 70.0, 100.0, 140.0):
+    res = optimize_speeds_under_power(
+        SIZES, SPECIALS, LAMBDA, budget, alpha=ALPHA
+    )
+    gain = "" if previous is None else f"  (-{previous - res.mean_response_time:.4f})"
+    print(
+        f"{budget:>8.0f} {res.mean_response_time:>9.5f} "
+        f"{res.total_power:>9.2f}  {np.round(res.speeds, 3)}{gain}"
+    )
+    previous = res.mean_response_time
+
+print()
+print(
+    "reading: response time falls with the budget but each increment\n"
+    "buys less; at tight budgets the small, preloaded servers idle near\n"
+    "their stability floor while the watts concentrate on the largest\n"
+    "chassis (queueing pooling beats spreading)."
+)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists only so that
+``pip install -e . --no-use-pep517`` works on environments whose
+setuptools predates PEP 660 editable wheels (e.g. offline boxes without
+the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

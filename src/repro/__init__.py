@@ -1,0 +1,74 @@
+"""repro — Optimal load distribution for heterogeneous blade servers.
+
+A production-quality reproduction of:
+
+    Keqin Li, "Optimal Load Distribution for Multiple Heterogeneous
+    Blade Servers in a Cloud Computing Environment," *Journal of Grid
+    Computing* 11(1):27–46, 2013 (preliminary version: IPDPS Workshops
+    2011, pp. 943–952).
+
+Quickstart
+----------
+>>> from repro import BladeServerGroup, optimize_load_distribution
+>>> group = BladeServerGroup.with_special_fraction(
+...     sizes=[2, 4, 6, 8, 10, 12, 14],
+...     speeds=[1.6, 1.5, 1.4, 1.3, 1.2, 1.1, 1.0],
+...     fraction=0.3,
+... )
+>>> result = optimize_load_distribution(group, total_rate=23.52)
+>>> round(result.mean_response_time, 7)
+0.8964703
+
+Subpackages
+-----------
+``repro.core``
+    Queueing math (M/M/m, Erlang), response-time models for the two
+    disciplines, and the load-distribution optimizers.
+``repro.sim``
+    Discrete-event simulator of a blade-server group, used to validate
+    the analytical model.
+``repro.dispatch``
+    Load-distribution policies: the optimal split plus baselines.
+``repro.workloads``
+    Paper parameterizations, server-group factories, sweep grids.
+``repro.analysis``
+    Saturation analysis, heterogeneity metrics, validation harness,
+    table/figure builders.
+``repro.experiments``
+    One registered experiment per paper table/figure, with a CLI.
+"""
+
+from .core import (
+    BladeServer,
+    BladeServerGroup,
+    ConvergenceError,
+    Discipline,
+    InfeasibleError,
+    LoadDistributionResult,
+    MMmQueue,
+    ParameterError,
+    ReproError,
+    SaturationError,
+    SimulationError,
+    available_methods,
+    optimize_load_distribution,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BladeServer",
+    "BladeServerGroup",
+    "ConvergenceError",
+    "Discipline",
+    "InfeasibleError",
+    "LoadDistributionResult",
+    "MMmQueue",
+    "ParameterError",
+    "ReproError",
+    "SaturationError",
+    "SimulationError",
+    "available_methods",
+    "optimize_load_distribution",
+    "__version__",
+]

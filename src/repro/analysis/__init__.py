@@ -1,0 +1,46 @@
+"""Analysis tools: saturation, validation, tables/figures, comparisons."""
+
+from .comparison import PolicyComparison, PolicyOutcome, compare_policies
+from .figures import FigureSeries, build_figure
+from .planning import (
+    BladeAdditionOption,
+    UpgradeStep,
+    evaluate_blade_additions,
+    greedy_upgrade_path,
+)
+from .robustness import (
+    PreloadMisestimationReport,
+    ServiceLawMismatchReport,
+    preload_misestimation,
+    service_law_mismatch,
+)
+from .saturation import SaturationReport, analyze_saturation, headroom
+from .sensitivity import SensitivityReport, optimal_value_sensitivities
+from .tables import PaperTable, render_table, reproduce_table
+from .validation import ValidationReport, validate_model
+
+__all__ = [
+    "BladeAdditionOption",
+    "FigureSeries",
+    "PaperTable",
+    "PolicyComparison",
+    "PolicyOutcome",
+    "PreloadMisestimationReport",
+    "SaturationReport",
+    "SensitivityReport",
+    "ServiceLawMismatchReport",
+    "UpgradeStep",
+    "ValidationReport",
+    "analyze_saturation",
+    "build_figure",
+    "compare_policies",
+    "evaluate_blade_additions",
+    "greedy_upgrade_path",
+    "headroom",
+    "optimal_value_sensitivities",
+    "preload_misestimation",
+    "render_table",
+    "reproduce_table",
+    "service_law_mismatch",
+    "validate_model",
+]

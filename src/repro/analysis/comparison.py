@@ -1,0 +1,116 @@
+"""Policy comparison: how much does the optimal split actually buy?
+
+The paper never quantifies the gap between its optimum and the
+heuristics an operator would otherwise use.  :func:`compare_policies`
+evaluates a set of policies on one instance and reports each policy's
+``T'`` and its degradation relative to the optimum; policies that are
+infeasible at the operating point (e.g. equal-split saturating the
+smallest server at high load) are reported as such rather than
+dropped — *where* heuristics break is part of the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.exceptions import InfeasibleError
+from ..core.response import Discipline
+from ..core.result import LoadDistributionResult
+from ..core.server import BladeServerGroup
+from ..dispatch.registry import available_policies, get_policy
+
+__all__ = ["PolicyComparison", "PolicyOutcome", "compare_policies"]
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """One policy's result on one instance."""
+
+    policy: str
+    feasible: bool
+    result: LoadDistributionResult | None
+    #: ``T'_policy / T'_optimal`` (>= 1); ``inf`` when infeasible.
+    degradation: float
+
+    def render(self) -> str:
+        if not self.feasible:
+            return f"{self.policy:>22}: infeasible at this load"
+        return (
+            f"{self.policy:>22}: T' = {self.result.mean_response_time:.6f} "
+            f"({self.degradation:.3f}x optimal)"
+        )
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """All policies evaluated on one (group, load, discipline) instance."""
+
+    total_rate: float
+    discipline: Discipline
+    outcomes: tuple[PolicyOutcome, ...]
+
+    @property
+    def optimal(self) -> PolicyOutcome:
+        """The outcome of the optimal policy."""
+        for o in self.outcomes:
+            if o.policy == "optimal":
+                return o
+        raise LookupError("comparison did not include the optimal policy")
+
+    def render(self) -> str:
+        head = (
+            f"lambda' = {self.total_rate:.4f}, "
+            f"discipline = {self.discipline.value}"
+        )
+        return "\n".join([head] + [o.render() for o in self.outcomes])
+
+
+def compare_policies(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    policies: tuple[str, ...] | None = None,
+) -> PolicyComparison:
+    """Evaluate the named policies (default: all registered) on one instance.
+
+    The optimal policy is always included (and prepended if missing)
+    because degradations are computed against it.
+    """
+    disc = Discipline.coerce(discipline)
+    names = list(policies) if policies is not None else list(available_policies())
+    if "optimal" not in names:
+        names.insert(0, "optimal")
+
+    results: dict[str, LoadDistributionResult | None] = {}
+    for name in names:
+        policy = get_policy(name)
+        try:
+            results[name] = policy.distribute(group, total_rate, disc)
+        except InfeasibleError:
+            results[name] = None
+    opt = results["optimal"]
+    if opt is None:
+        raise InfeasibleError(
+            f"instance infeasible even for the optimal policy "
+            f"(lambda'={total_rate}, capacity={group.max_generic_rate})",
+            total_rate=total_rate,
+            capacity=group.max_generic_rate,
+        )
+    outcomes = []
+    for name in names:
+        res = results[name]
+        outcomes.append(
+            PolicyOutcome(
+                policy=name,
+                feasible=res is not None,
+                result=res,
+                degradation=(
+                    res.mean_response_time / opt.mean_response_time
+                    if res is not None
+                    else float("inf")
+                ),
+            )
+        )
+    return PolicyComparison(
+        total_rate=total_rate, discipline=disc, outcomes=tuple(outcomes)
+    )

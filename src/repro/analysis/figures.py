@@ -1,0 +1,155 @@
+"""Figure-series builders: the ``T'`` vs. ``lambda'`` curves of Figs. 4–15.
+
+Every figure in the paper's Section 5 is a family of curves — one per
+server group (or per parameter value) — of the *minimized* mean generic
+response time against the total generic arrival rate, under one
+discipline.  :func:`build_figure` computes exactly that: for each group
+and each grid point it runs the optimizer and records ``T'``.
+
+The output :class:`FigureSeries` is a plain data object (labels, the
+shared x-grid, one y-vector per curve) consumed by the text renderer,
+the benchmarks, and the EXPERIMENTS.md generator; nothing here touches
+plotting libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.response import Discipline
+from ..core.server import BladeServerGroup
+from ..core.solvers import optimize_load_distribution
+from ..workloads.sweeps import shared_sweep
+
+__all__ = ["FigureSeries", "build_figure"]
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One reproduced figure: a family of ``T'(lambda')`` curves.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper figure number/label, e.g. ``"fig4"``.
+    discipline:
+        The queueing discipline all curves were computed under.
+    rates:
+        The shared ``lambda'`` grid (x-axis).
+    labels:
+        One label per curve (e.g. ``"Group 1 (m=49)"``).
+    values:
+        Array of shape ``(len(labels), len(rates))`` holding ``T'``.
+    """
+
+    figure_id: str
+    discipline: Discipline
+    rates: np.ndarray
+    labels: tuple[str, ...]
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (len(self.labels), len(self.rates)):
+            raise ParameterError(
+                f"values shape {self.values.shape} inconsistent with "
+                f"{len(self.labels)} labels x {len(self.rates)} rates"
+            )
+
+    def curve(self, label: str) -> np.ndarray:
+        """The y-vector of the curve with the given label."""
+        try:
+            i = self.labels.index(label)
+        except ValueError:
+            raise ParameterError(
+                f"no curve labelled {label!r}; have {self.labels}"
+            ) from None
+        return self.values[i]
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering: header row, one row per grid point.
+
+        Columns: ``lambda_prime`` then one column per curve label
+        (commas inside labels are replaced to keep the format trivially
+        parseable without quoting rules).
+        """
+        safe = [label.replace(",", ";") for label in self.labels]
+        lines = [",".join(["lambda_prime"] + safe)]
+        for j, lam in enumerate(self.rates):
+            cells = [f"{lam:.10g}"] + [
+                f"{self.values[i, j]:.10g}" for i in range(len(self.labels))
+            ]
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def render(self, float_fmt: str = "{:.4f}") -> str:
+        """Plain-text table: one row per grid point, one column per curve."""
+        header = ["lambda'"] + list(self.labels)
+        widths = [max(10, len(h) + 2) for h in header]
+        lines = [
+            f"{self.figure_id} ({self.discipline.value})",
+            "".join(h.rjust(w) for h, w in zip(header, widths)),
+        ]
+        for j, lam in enumerate(self.rates):
+            cells = [float_fmt.format(lam)] + [
+                float_fmt.format(self.values[i, j]) for i in range(len(self.labels))
+            ]
+            lines.append("".join(c.rjust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+
+def build_figure(
+    figure_id: str,
+    groups: Sequence[BladeServerGroup],
+    labels: Sequence[str],
+    discipline: Discipline | str,
+    points: int = 25,
+    hi_fraction: float = 0.95,
+    method: str = "kkt",
+    rates: np.ndarray | None = None,
+) -> FigureSeries:
+    """Reproduce one paper figure.
+
+    Parameters
+    ----------
+    figure_id:
+        Label stored in the output (``"fig4"`` ... ``"fig15"``).
+    groups, labels:
+        The curve family: equally many groups and labels.
+    discipline:
+        ``fcfs`` for even-numbered figures 4–14, ``priority`` for odd.
+    points, hi_fraction:
+        Grid resolution and how close to the shared saturation point
+        the sweep reaches (ignored when ``rates`` is given).
+    method:
+        Solver backend used at every grid point.
+    rates:
+        Optional explicit ``lambda'`` grid overriding the shared sweep.
+    """
+    if len(groups) != len(labels):
+        raise ParameterError(
+            f"{len(groups)} groups but {len(labels)} labels"
+        )
+    if not groups:
+        raise ParameterError("build_figure needs at least one group")
+    disc = Discipline.coerce(discipline)
+    if rates is None:
+        rates = shared_sweep(groups, points=points, hi_fraction=hi_fraction)
+    else:
+        rates = np.asarray(rates, dtype=float)
+    values = np.empty((len(groups), len(rates)))
+    for i, group in enumerate(groups):
+        for j, lam in enumerate(rates):
+            values[i, j] = optimize_load_distribution(
+                group, float(lam), disc, method
+            ).mean_response_time
+    return FigureSeries(
+        figure_id=figure_id,
+        discipline=disc,
+        rates=rates,
+        labels=tuple(labels),
+        values=values,
+    )

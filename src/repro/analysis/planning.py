@@ -1,0 +1,151 @@
+"""Discrete capacity planning: where do the next blades go?
+
+The envelope sensitivities (:mod:`repro.analysis.sensitivity`) price
+*infinitesimal* parameter changes; hardware arrives in whole blades.
+This module evaluates the discrete what-ifs exactly — re-optimizing the
+load distribution for each candidate upgrade — and greedily builds an
+upgrade path:
+
+:func:`evaluate_blade_additions`
+    The optimal ``T'`` after adding one blade to each server in turn
+    (with or without the paper's convention that a new blade brings its
+    proportional share of dedicated work).
+
+:func:`greedy_upgrade_path`
+    Repeatedly adds the single most valuable blade, ``k`` times.
+    Greedy is not always globally optimal for k > 1, but each step is
+    an exact evaluation, and the path exposes the diminishing-returns
+    structure operators budget against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.response import Discipline
+from ..core.server import BladeServerGroup
+from ..core.solvers import optimize_load_distribution
+
+__all__ = [
+    "BladeAdditionOption",
+    "UpgradeStep",
+    "evaluate_blade_additions",
+    "greedy_upgrade_path",
+]
+
+
+@dataclass(frozen=True)
+class BladeAdditionOption:
+    """Outcome of adding one blade to one server."""
+
+    #: Index of the upgraded server.
+    server_index: int
+    #: Optimal T' after the upgrade.
+    t_prime: float
+    #: Improvement over the baseline optimal T' (positive = better).
+    gain: float
+    #: The upgraded group's saturation point.
+    new_capacity: float
+
+
+@dataclass(frozen=True)
+class UpgradeStep:
+    """One step of the greedy upgrade path."""
+
+    #: Which server received the blade at this step.
+    server_index: int
+    #: Optimal T' after this step.
+    t_prime: float
+    #: Size vector after this step.
+    sizes: tuple[int, ...]
+
+
+def _upgraded_group(
+    group: BladeServerGroup, j: int, preload_follows: bool
+) -> BladeServerGroup:
+    sizes = group.sizes.copy()
+    sizes[j] += 1
+    specials = group.special_rates.copy()
+    if preload_follows:
+        # The paper's convention lambda''_i = y m_i / xbar_i: a new blade
+        # arrives carrying its proportional share of dedicated work.
+        specials[j] *= sizes[j] / (sizes[j] - 1)
+    return BladeServerGroup.from_arrays(
+        sizes, group.speeds, specials, rbar=group.rbar
+    )
+
+
+def evaluate_blade_additions(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    preload_follows: bool = False,
+    method: str = "kkt",
+) -> list[BladeAdditionOption]:
+    """Exact what-if for one extra blade on each server.
+
+    Parameters
+    ----------
+    preload_follows:
+        If true, the new blade also brings proportional dedicated work
+        (the paper's preload convention); if false (default), the blade
+        is pure new capacity.
+
+    Returns
+    -------
+    list[BladeAdditionOption]
+        One option per server, ordered by decreasing gain.
+    """
+    disc = Discipline.coerce(discipline)
+    base = optimize_load_distribution(group, total_rate, disc, method)
+    options = []
+    for j in range(group.n):
+        upgraded = _upgraded_group(group, j, preload_follows)
+        res = optimize_load_distribution(upgraded, total_rate, disc, method)
+        options.append(
+            BladeAdditionOption(
+                server_index=j,
+                t_prime=res.mean_response_time,
+                gain=base.mean_response_time - res.mean_response_time,
+                new_capacity=upgraded.max_generic_rate,
+            )
+        )
+    options.sort(key=lambda o: -o.gain)
+    return options
+
+
+def greedy_upgrade_path(
+    group: BladeServerGroup,
+    total_rate: float,
+    blades: int,
+    discipline: Discipline | str = Discipline.FCFS,
+    preload_follows: bool = False,
+    method: str = "kkt",
+) -> list[UpgradeStep]:
+    """Greedily place ``blades`` extra blades, one at a time.
+
+    Each step evaluates all ``n`` candidate placements exactly and
+    commits the best one.  Returns the committed steps in order.
+    """
+    if blades < 1:
+        raise ParameterError(f"blades must be >= 1, got {blades}")
+    disc = Discipline.coerce(discipline)
+    current = group
+    steps: list[UpgradeStep] = []
+    for _ in range(blades):
+        options = evaluate_blade_additions(
+            current, total_rate, disc, preload_follows, method
+        )
+        best = options[0]
+        current = _upgraded_group(current, best.server_index, preload_follows)
+        steps.append(
+            UpgradeStep(
+                server_index=best.server_index,
+                t_prime=best.t_prime,
+                sizes=tuple(int(m) for m in current.sizes),
+            )
+        )
+    return steps

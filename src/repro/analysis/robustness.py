@@ -1,0 +1,166 @@
+"""Robustness of the optimal split to model misspecification.
+
+Two failure modes a deployment will actually hit, neither analyzed by
+the paper:
+
+:func:`preload_misestimation`
+    The optimizer was fed wrong special-task rates.  The split is
+    computed against the *assumed* rates but the system runs under the
+    *true* rates.  Reports the realized ``T'`` (analytically — the
+    M/M/m model still applies, just at different utilizations), the
+    ``T'`` an oracle would achieve, and the regret.  If the stale split
+    saturates a server under the true load, that is reported as a
+    blow-up rather than hidden.
+
+:func:`service_law_mismatch`
+    Execution requirements are not exponential.  The analytical model
+    cannot price this, so the discrete-event simulator measures the
+    realized mean generic response time at the M/M/m-optimal split for
+    a chosen requirement distribution (see
+    :mod:`repro.sim.requirements`), compared with the M/M/m prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.response import Discipline
+from ..core.server import BladeServerGroup
+from ..core.solvers import optimize_load_distribution
+from ..sim.engine import simulate_group
+from ..sim.requirements import RequirementDistribution
+
+__all__ = [
+    "PreloadMisestimationReport",
+    "ServiceLawMismatchReport",
+    "preload_misestimation",
+    "service_law_mismatch",
+]
+
+
+@dataclass(frozen=True)
+class PreloadMisestimationReport:
+    """Effect of optimizing against wrong special-task rates."""
+
+    #: T' realized by the stale split under the true preload
+    #: (``inf`` if the stale split saturates a server).
+    realized: float
+    #: T' of the oracle split computed against the true preload.
+    oracle: float
+    #: ``realized / oracle`` (``inf`` on saturation).
+    regret: float
+    #: True utilizations under the stale split (may contain >= 1).
+    utilizations: np.ndarray
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the stale split overloads at least one server."""
+        return bool(np.any(self.utilizations >= 1.0))
+
+
+def preload_misestimation(
+    group_assumed: BladeServerGroup,
+    true_special_rates: Sequence[float],
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    method: str = "kkt",
+) -> PreloadMisestimationReport:
+    """Quantify the cost of a stale/wrong preload estimate.
+
+    Parameters
+    ----------
+    group_assumed:
+        The group as the optimizer believes it to be.
+    true_special_rates:
+        The actual ``lambda''_i`` the system runs under (sizes, speeds
+        and ``rbar`` are assumed known exactly — they are hardware).
+    total_rate, discipline, method:
+        Operating point and solver.
+    """
+    true_rates = np.asarray(true_special_rates, dtype=float)
+    if true_rates.shape != (group_assumed.n,):
+        raise ParameterError(
+            f"true_special_rates shape {true_rates.shape} != ({group_assumed.n},)"
+        )
+    stale = optimize_load_distribution(
+        group_assumed, total_rate, discipline, method
+    )
+    true_group = BladeServerGroup.from_arrays(
+        group_assumed.sizes,
+        group_assumed.speeds,
+        true_rates,
+        rbar=group_assumed.rbar,
+    )
+    oracle = optimize_load_distribution(
+        true_group, total_rate, discipline, method
+    )
+    utils = true_group.utilizations(stale.generic_rates)
+    if np.any(utils >= 1.0):
+        realized = math.inf
+    else:
+        realized = true_group.mean_response_time(
+            stale.generic_rates, discipline
+        )
+    return PreloadMisestimationReport(
+        realized=realized,
+        oracle=oracle.mean_response_time,
+        regret=realized / oracle.mean_response_time,
+        utilizations=utils,
+    )
+
+
+@dataclass(frozen=True)
+class ServiceLawMismatchReport:
+    """Effect of a non-exponential requirement law on the optimal split."""
+
+    #: SCV of the requirement distribution that actually ran.
+    scv: float
+    #: The M/M/m prediction the optimizer promised.
+    predicted: float
+    #: The simulated mean generic response time at the M/M/m split.
+    simulated: float
+    #: ``simulated / predicted``.
+    drift: float
+
+
+def service_law_mismatch(
+    group: BladeServerGroup,
+    total_rate: float,
+    requirement: RequirementDistribution,
+    discipline: Discipline | str = Discipline.FCFS,
+    *,
+    horizon: float = 10_000.0,
+    warmup: float = 1_000.0,
+    seed: int = 0,
+    method: str = "kkt",
+) -> ServiceLawMismatchReport:
+    """Simulate the M/M/m-optimal split under a different service law.
+
+    The expected pattern (Pollaczek–Khinchine intuition): waiting parts
+    of the response scale roughly with ``(1 + SCV)/2``, so
+    deterministic requirements (SCV 0) *beat* the prediction while
+    hyperexponential mixes (SCV > 1) exceed it — increasingly so at
+    high utilization.
+    """
+    res = optimize_load_distribution(group, total_rate, discipline, method)
+    sim = simulate_group(
+        group,
+        total_rate,
+        res.fractions,
+        discipline,
+        horizon=horizon,
+        warmup=warmup,
+        seed=seed,
+        requirement=requirement,
+    )
+    return ServiceLawMismatchReport(
+        scv=requirement.scv,
+        predicted=res.mean_response_time,
+        simulated=sim.generic_response_time,
+        drift=sim.generic_response_time / res.mean_response_time,
+    )

@@ -1,0 +1,89 @@
+"""Saturation analysis of a blade-server group.
+
+Section 5 of the paper closes with a rule-of-thumb: *all* reduction of
+the optimal ``T'`` comes from pushing the saturation point
+
+.. math::
+
+    \\lambda'_{max} = \\sum_i \\left(\\frac{m_i s_i}{\\bar r}
+        - \\lambda''_i\\right)
+
+further out — grow ``m_i`` or ``s_i``, shrink ``rbar`` or
+``lambda''_i``.  This module quantifies that: per-server saturation
+points, group headroom at a given operating point, and the sensitivity
+of ``lambda'_max`` to each of the four parameter families (the
+rule-of-thumb, made computable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.server import BladeServerGroup
+
+__all__ = ["SaturationReport", "analyze_saturation", "headroom"]
+
+
+@dataclass(frozen=True)
+class SaturationReport:
+    """Saturation structure of one group.
+
+    Attributes
+    ----------
+    per_server:
+        Per-server generic-load saturation points
+        ``m_i/xbar_i - lambda''_i``.
+    total:
+        The group saturation point ``lambda'_max``.
+    d_per_blade:
+        Gain in ``lambda'_max`` from adding one blade to each server
+        (``s_i / rbar`` each) — the "increase m" lever.
+    d_per_speed_unit:
+        Gain from one unit of extra speed on each server
+        (``m_i / rbar``) — the "increase s" lever.
+    d_per_rbar:
+        Derivative of ``lambda'_max`` w.r.t. ``rbar``
+        (``-sum m_i s_i / rbar^2``; negative — the "reduce rbar" lever).
+    d_per_special:
+        Derivative w.r.t. each ``lambda''_i`` (exactly ``-1`` per the
+        model; kept as a vector for report symmetry).
+    """
+
+    per_server: np.ndarray
+    total: float
+    d_per_blade: np.ndarray
+    d_per_speed_unit: np.ndarray
+    d_per_rbar: float
+    d_per_special: np.ndarray
+
+
+def analyze_saturation(group: BladeServerGroup) -> SaturationReport:
+    """Compute the group's saturation report."""
+    per_server = group.spare_capacities
+    return SaturationReport(
+        per_server=per_server,
+        total=float(per_server.sum()),
+        d_per_blade=group.speeds / group.rbar,
+        d_per_speed_unit=group.sizes / group.rbar,
+        d_per_rbar=float(-(group.sizes * group.speeds).sum() / group.rbar**2),
+        d_per_special=-np.ones(group.n),
+    )
+
+
+def headroom(group: BladeServerGroup, total_rate: float) -> float:
+    """Fraction of the saturation point still unused at ``total_rate``.
+
+    ``1 - lambda'/lambda'_max``; raises if the operating point is
+    already infeasible.
+    """
+    if total_rate < 0.0:
+        raise ParameterError(f"total_rate must be >= 0, got {total_rate}")
+    cap = group.max_generic_rate
+    if total_rate >= cap:
+        raise ParameterError(
+            f"operating point {total_rate:.6g} is at/beyond saturation {cap:.6g}"
+        )
+    return 1.0 - total_rate / cap

@@ -1,0 +1,83 @@
+"""Cheap bounds that sandwich the optimal mean response time.
+
+Solving the optimization takes root-finding; these bounds take one
+Erlang-C evaluation each and are useful for back-of-envelope sizing,
+for sanity-checking solver output, and as optimality certificates in
+tests (`lower <= T'* <= upper` is asserted across random instances):
+
+:func:`upper_bound`
+    **Constructive**: the analytic ``T'`` of the spare-capacity-
+    proportional split, which is feasible whenever the instance is.
+    Any feasible point upper-bounds the minimum, and this particular
+    heuristic tracks the optimum within a few percent (see the policy
+    ablation), so the bound is tight in practice.
+
+:func:`lower_bound`
+    **Relaxation**: the better of two optimistic simplifications —
+
+    * a *relaxed, perfectly pooled* fleet: delete all special tasks
+      (pinned competitors can only hurt generic tasks), upgrade every
+      blade to the fastest speed in the group (can only help), and pool
+      everything into one M/M/(Σm_i) station (one shared queue beats
+      any static split of a Poisson stream).  Each relaxation step
+      weakly lowers the optimal generic response time, so the pooled
+      value is a valid lower bound;
+    * the bare service floor ``r̄ / s_max`` (no queueing at all).
+"""
+
+from __future__ import annotations
+
+from ..core.mmm import MMmQueue
+from .response import Discipline
+from .server import BladeServerGroup
+
+__all__ = ["lower_bound", "upper_bound", "bound_gap"]
+
+
+def upper_bound(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+) -> float:
+    """Constructive upper bound: T' of the spare-proportional split."""
+    group.check_feasible(total_rate)
+    caps = group.spare_capacities
+    rates = caps / caps.sum() * total_rate
+    return group.mean_response_time(rates, discipline)
+
+
+def lower_bound(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+) -> float:
+    """Optimistic lower bound via relaxation + pooling.
+
+    Valid for both disciplines: deleting specials helps generic tasks
+    under FCFS (less contention) and a fortiori under priority (the
+    competitors that used to overtake are gone), and the pooled
+    uniform-speed station dominates every feasible static arrangement
+    of the relaxed fleet.
+    """
+    group.check_feasible(total_rate)
+    s_max = float(group.speeds.max())
+    xbar = group.rbar / s_max
+    m_total = group.total_blades
+    service_floor = xbar
+    if total_rate * xbar / m_total >= 1.0:
+        # Even the relaxed pooled fleet would saturate on the generic
+        # load alone; the service floor is all that remains.
+        return service_floor
+    pooled = MMmQueue(m_total, xbar, total_rate).response_time
+    return max(pooled, service_floor)
+
+
+def bound_gap(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+) -> float:
+    """Relative width ``(upper - lower) / lower`` of the sandwich."""
+    lo = lower_bound(group, total_rate, discipline)
+    hi = upper_bound(group, total_rate, discipline)
+    return (hi - lo) / lo

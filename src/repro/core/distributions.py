@@ -1,0 +1,304 @@
+"""Waiting- and response-time *distributions* for M/M/m stations.
+
+The paper optimizes the mean response time, but a cloud provider sells
+*percentile* SLOs ("95% of requests under 2 s").  For an FCFS M/M/m
+queue both distributions are closed-form, so percentile targets cost
+nothing extra:
+
+Waiting time ``W``
+    A mixed distribution: an atom of mass ``1 - P_q`` at zero (the
+    arrival finds a free blade) plus an exponential tail,
+
+    .. math:: P(W > t) = P_q \\, e^{-\\theta t}, \\qquad
+              \\theta = m\\mu(1 - \\rho).
+
+Response time ``T = W + S``
+    The independent sum of ``W`` and the service time
+    ``S ~ Exp(mu)``:
+
+    .. math::
+
+        P(T > t) = (1 - P_q)\\,e^{-\\mu t}
+                 + P_q\\,\\frac{\\theta e^{-\\mu t} - \\mu e^{-\\theta t}}
+                               {\\theta - \\mu}
+        \\qquad (\\theta \\ne \\mu),
+
+    with the ``theta = mu`` limit ``(1 + P_q \\mu t)\\,e^{-\\mu t}``.
+
+Both classes expose ``sf``/``cdf``/``pdf`` (tail, distribution, density
+— the density of ``W`` refers to its continuous part only), ``mean``
+(cross-checked against :class:`~repro.core.mmm.MMmQueue` in the tests),
+and ``quantile`` via a bracketed Brent search on the tail.
+
+Scope: FCFS discipline.  Under the priority discipline the generic-task
+waiting time is a geometric-like compound without an elementary closed
+form; use the simulator (``repro.sim``) to estimate priority
+percentiles empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from scipy.optimize import brentq
+
+from .erlang import erlang_c
+from .exceptions import ParameterError, SaturationError
+
+__all__ = [
+    "WaitingTimeDistribution",
+    "ResponseTimeDistribution",
+    "GroupResponseTimeDistribution",
+]
+
+
+def _validate(m: int, xbar: float, rho: float) -> None:
+    if not isinstance(m, int) or isinstance(m, bool) or m < 1:
+        raise ParameterError(f"m must be a positive int, got {m!r}")
+    if not (math.isfinite(xbar) and xbar > 0.0):
+        raise ParameterError(f"xbar must be finite and > 0, got {xbar!r}")
+    if not (0.0 <= rho < 1.0):
+        if rho >= 1.0:
+            raise SaturationError(f"rho must be < 1, got {rho}", rho=rho)
+        raise ParameterError(f"rho must be >= 0, got {rho}")
+
+
+@dataclass(frozen=True)
+class WaitingTimeDistribution:
+    """Distribution of the FCFS M/M/m waiting time.
+
+    Parameters
+    ----------
+    m, xbar, rho:
+        Station size, mean service time, total utilization.
+    """
+
+    m: int
+    xbar: float
+    rho: float
+    _pq: float = field(init=False, repr=False)
+    _theta: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _validate(self.m, self.xbar, self.rho)
+        object.__setattr__(self, "_pq", erlang_c(self.m, self.rho))
+        # Tail rate theta = m mu (1 - rho).
+        object.__setattr__(
+            self, "_theta", self.m / self.xbar * (1.0 - self.rho)
+        )
+
+    @property
+    def prob_wait(self) -> float:
+        """Probability of any wait at all (the Erlang-C value)."""
+        return self._pq
+
+    @property
+    def tail_rate(self) -> float:
+        """Exponential decay rate ``theta = m mu (1 - rho)`` of the tail."""
+        return self._theta
+
+    def sf(self, t: float) -> float:
+        """Survival function ``P(W > t)``."""
+        if t < 0.0:
+            raise ParameterError(f"t must be >= 0, got {t}")
+        return self._pq * math.exp(-self._theta * t)
+
+    def cdf(self, t: float) -> float:
+        """Cumulative distribution ``P(W <= t)``."""
+        return 1.0 - self.sf(t)
+
+    def pdf(self, t: float) -> float:
+        """Density of the continuous part (excludes the atom at zero)."""
+        if t < 0.0:
+            raise ParameterError(f"t must be >= 0, got {t}")
+        return self._pq * self._theta * math.exp(-self._theta * t)
+
+    @property
+    def mean(self) -> float:
+        """``E[W] = P_q / theta`` (the paper's ``W``)."""
+        return self._pq / self._theta
+
+    def quantile(self, p: float) -> float:
+        """Smallest ``t`` with ``P(W <= t) >= p``.
+
+        Returns 0 whenever ``p <= 1 - P_q`` (the atom absorbs it);
+        otherwise inverts the exponential tail analytically.
+        """
+        if not (0.0 <= p < 1.0):
+            raise ParameterError(f"p must be in [0, 1), got {p}")
+        if p <= 1.0 - self._pq:
+            return 0.0
+        return -math.log((1.0 - p) / self._pq) / self._theta
+
+
+@dataclass(frozen=True)
+class ResponseTimeDistribution:
+    """Distribution of the FCFS M/M/m response time ``T = W + S``."""
+
+    m: int
+    xbar: float
+    rho: float
+    _pq: float = field(init=False, repr=False)
+    _theta: float = field(init=False, repr=False)
+    _mu: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _validate(self.m, self.xbar, self.rho)
+        object.__setattr__(self, "_pq", erlang_c(self.m, self.rho))
+        object.__setattr__(self, "_mu", 1.0 / self.xbar)
+        object.__setattr__(
+            self, "_theta", self.m / self.xbar * (1.0 - self.rho)
+        )
+
+    def sf(self, t: float) -> float:
+        """Survival function ``P(T > t)``."""
+        if t < 0.0:
+            raise ParameterError(f"t must be >= 0, got {t}")
+        mu, theta, pq = self._mu, self._theta, self._pq
+        if abs(theta - mu) < 1e-12 * mu:
+            # Confluent case m(1-rho) = 1: T given wait is Gamma(2, mu).
+            return math.exp(-mu * t) * (1.0 + pq * mu * t)
+        tail_given_wait = (theta * math.exp(-mu * t) - mu * math.exp(-theta * t)) / (
+            theta - mu
+        )
+        return (1.0 - pq) * math.exp(-mu * t) + pq * tail_given_wait
+
+    def cdf(self, t: float) -> float:
+        """Cumulative distribution ``P(T <= t)``."""
+        return 1.0 - self.sf(t)
+
+    def pdf(self, t: float) -> float:
+        """Density of ``T`` (continuous everywhere: ``S > 0`` a.s.)."""
+        if t < 0.0:
+            raise ParameterError(f"t must be >= 0, got {t}")
+        mu, theta, pq = self._mu, self._theta, self._pq
+        if abs(theta - mu) < 1e-12 * mu:
+            # -d/dt [e^{-mu t}(1 + pq mu t)].
+            return mu * math.exp(-mu * t) * (1.0 - pq + pq * mu * t)
+        dens_given_wait = (
+            theta * mu * (math.exp(-theta * t) - math.exp(-mu * t)) / (mu - theta)
+        )
+        return (1.0 - pq) * mu * math.exp(-mu * t) + pq * dens_given_wait
+
+    @property
+    def mean(self) -> float:
+        """``E[T] = xbar + P_q / theta`` (the paper's ``T``)."""
+        return self.xbar + self._pq / self._theta
+
+    def quantile(self, p: float) -> float:
+        """Smallest ``t`` with ``P(T <= t) >= p`` (Brent on the tail)."""
+        if not (0.0 <= p < 1.0):
+            raise ParameterError(f"p must be in [0, 1), got {p}")
+        if p == 0.0:
+            return 0.0
+        target = 1.0 - p
+        # Bracket: the tail is below max(e^{-mu t}, e^{-theta t}) scaled
+        # by <= 2, so t_hi = (ln(2/target))/min(mu, theta) suffices.
+        rate = min(self._mu, self._theta)
+        hi = math.log(2.0 / target) / rate + 1.0
+        while self.sf(hi) > target:  # pragma: no cover - defensive
+            hi *= 2.0
+        return float(brentq(lambda t: self.sf(t) - target, 0.0, hi, xtol=1e-12))
+
+
+class GroupResponseTimeDistribution:
+    """Response-time distribution of generic tasks across a whole group.
+
+    Under a static split a generic task lands on server ``i`` with
+    probability ``w_i = lambda'_i / lambda'`` and then experiences that
+    server's M/M/m response time, so the group law is the *mixture*
+
+    .. math::
+
+        P(T > t) = \\sum_i w_i \\, P(T_i > t).
+
+    The group p95 is the quantile of this mixture — **not** the
+    load-weighted average of per-server p95s (quantiles do not average;
+    the mixture quantile is pulled toward the heavy-tailed servers).
+    The mean, by linearity, *is* the weighted mean, i.e. exactly the
+    paper's ``T'``.
+
+    Parameters
+    ----------
+    components:
+        Per-server :class:`ResponseTimeDistribution` objects.
+    weights:
+        Routing probabilities; non-negative, summing to one.  Servers
+        with zero weight may be omitted or carried with weight 0.
+
+    Scope: FCFS only, like the per-server distribution.
+    """
+
+    def __init__(
+        self,
+        components: "list[ResponseTimeDistribution]",
+        weights: "list[float]",
+    ) -> None:
+        if len(components) != len(weights) or not components:
+            raise ParameterError(
+                "components and weights must be equal-length and non-empty"
+            )
+        w = [float(x) for x in weights]
+        if any(not math.isfinite(x) or x < 0.0 for x in w):
+            raise ParameterError("weights must be finite and >= 0")
+        total = sum(w)
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-12):
+            raise ParameterError(f"weights must sum to 1, got {total}")
+        self._parts = list(zip(components, w))
+
+    @classmethod
+    def from_distribution(cls, group, result) -> "GroupResponseTimeDistribution":
+        """Build from a solver result on a :class:`BladeServerGroup`.
+
+        Zero-rate servers are skipped (they receive no generic tasks).
+        """
+        comps, weights = [], []
+        fractions = result.fractions
+        for i, srv in enumerate(group.servers):
+            if fractions[i] <= 0.0:
+                continue
+            comps.append(
+                ResponseTimeDistribution(
+                    srv.size,
+                    srv.xbar(group.rbar),
+                    float(result.utilizations[i]),
+                )
+            )
+            weights.append(float(fractions[i]))
+        total = sum(weights)
+        weights = [w / total for w in weights]
+        return cls(comps, weights)
+
+    def sf(self, t: float) -> float:
+        """Mixture survival function ``P(T > t)``."""
+        return sum(w * d.sf(t) for d, w in self._parts)
+
+    def cdf(self, t: float) -> float:
+        """Mixture distribution function ``P(T <= t)``."""
+        return 1.0 - self.sf(t)
+
+    def pdf(self, t: float) -> float:
+        """Mixture density."""
+        return sum(w * d.pdf(t) for d, w in self._parts)
+
+    @property
+    def mean(self) -> float:
+        """Mixture mean — equals the paper's weighted ``T'`` exactly."""
+        return sum(w * d.mean for d, w in self._parts)
+
+    def quantile(self, p: float) -> float:
+        """Smallest ``t`` with ``P(T <= t) >= p`` (Brent on the mixture)."""
+        if not (0.0 <= p < 1.0):
+            raise ParameterError(f"p must be in [0, 1), got {p}")
+        if p == 0.0:
+            return 0.0
+        target = 1.0 - p
+        # Bracket above by the largest component quantile: the mixture
+        # tail is at most the max component tail, so the mixture
+        # quantile cannot exceed the max component quantile.
+        hi = max(d.quantile(p) for d, w in self._parts if w > 0.0) + 1e-12
+        if self.sf(hi) > target:  # pragma: no cover - defensive
+            while self.sf(hi) > target:
+                hi *= 2.0
+        return float(brentq(lambda t: self.sf(t) - target, 0.0, hi, xtol=1e-12))

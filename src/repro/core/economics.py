@@ -1,0 +1,210 @@
+"""Admission control and profit optimization on top of the optimal split.
+
+The paper's introduction frames load distribution as "a source of
+revenue... directly related to service quality (e.g., task response
+time)" but optimizes response time only.  This module closes that loop
+with the standard pricing treatment (cf. the author's later
+profit-maximization line of work):
+
+* each completed generic task earns revenue that *decays with the
+  response time* it experienced (:class:`LinearDecayRevenue`: full
+  price below a free threshold, linearly to zero at a deadline);
+* the fleet costs money per unit time (e.g. power: ``Σ m_i s_i^alpha``
+  times an energy price);
+* the provider chooses how much generic traffic to *admit*: accepted
+  load earns revenue but degrades everyone's response time.
+
+Profit rate at admitted rate ``lambda'``:
+
+.. math::
+
+    \\Pi(\\lambda') = \\lambda' \\cdot r(T'^*(\\lambda')) - c
+
+where ``T'*`` is the *optimized* mean response time at that load.  As
+``lambda' → lambda'_max``, ``T'* → ∞`` and revenue per task collapses,
+so an interior profit maximizer exists whenever operating is profitable
+at all.  The maximizer is located with a bounded golden-section/Brent
+search (scipy ``minimize_scalar``) over a bracketed grid refinement,
+robust to the mild non-concavity the decay floor can introduce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from .exceptions import ParameterError
+from .response import Discipline
+from .result import LoadDistributionResult
+from .server import BladeServerGroup
+from .solvers import optimize_load_distribution
+
+__all__ = [
+    "RevenueModel",
+    "LinearDecayRevenue",
+    "AdmissionResult",
+    "optimize_admission",
+    "profit_rate",
+]
+
+
+class RevenueModel(Protocol):
+    """Maps a mean response time to revenue per completed task."""
+
+    def per_task(self, response_time: float) -> float:
+        """Revenue earned by one task at the given mean response time."""
+        ...
+
+
+@dataclass(frozen=True)
+class LinearDecayRevenue:
+    """Full price up to ``free_threshold``, linear to zero at ``deadline``.
+
+    Parameters
+    ----------
+    price:
+        Revenue per task when service is fast (``> 0``).
+    free_threshold:
+        Response time below which the full price is earned (``>= 0``).
+    deadline:
+        Response time at which revenue reaches zero
+        (``> free_threshold``); slower service earns nothing (the model
+        never goes negative — refunds beyond price are out of scope).
+    """
+
+    price: float
+    free_threshold: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.price) and self.price > 0.0):
+            raise ParameterError(f"price must be > 0, got {self.price!r}")
+        if not (math.isfinite(self.free_threshold) and self.free_threshold >= 0.0):
+            raise ParameterError(
+                f"free_threshold must be >= 0, got {self.free_threshold!r}"
+            )
+        if not (
+            math.isfinite(self.deadline) and self.deadline > self.free_threshold
+        ):
+            raise ParameterError(
+                f"deadline must exceed free_threshold, got "
+                f"{self.deadline!r} <= {self.free_threshold!r}"
+            )
+
+    def per_task(self, response_time: float) -> float:
+        if response_time <= self.free_threshold:
+            return self.price
+        if response_time >= self.deadline:
+            return 0.0
+        frac = (self.deadline - response_time) / (
+            self.deadline - self.free_threshold
+        )
+        return self.price * frac
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of the profit-maximizing admission decision."""
+
+    #: Admitted generic rate (0 means "do not sell generic capacity").
+    admitted_rate: float
+    #: Profit per unit time at the optimum (can be negative only when
+    #: even shutting generic service off cannot avoid the fixed cost).
+    profit: float
+    #: Revenue per task at the optimum's mean response time.
+    revenue_per_task: float
+    #: The inner load-distribution result (None when nothing admitted).
+    distribution: LoadDistributionResult | None
+    #: Fraction of the saturation point used.
+    load_fraction: float
+
+
+def profit_rate(
+    group: BladeServerGroup,
+    admitted_rate: float,
+    revenue: RevenueModel,
+    cost_per_time: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    method: str = "kkt",
+) -> float:
+    """Profit per unit time at a specific admitted rate."""
+    if admitted_rate < 0.0:
+        raise ParameterError(f"admitted_rate must be >= 0, got {admitted_rate}")
+    if admitted_rate == 0.0:
+        return -cost_per_time
+    res = optimize_load_distribution(group, admitted_rate, discipline, method)
+    return (
+        admitted_rate * revenue.per_task(res.mean_response_time)
+        - cost_per_time
+    )
+
+
+def optimize_admission(
+    group: BladeServerGroup,
+    revenue: RevenueModel,
+    cost_per_time: float = 0.0,
+    discipline: Discipline | str = Discipline.FCFS,
+    method: str = "kkt",
+    grid_points: int = 24,
+) -> AdmissionResult:
+    """Choose the profit-maximizing admitted generic rate.
+
+    Strategy: evaluate profit on a coarse grid over
+    ``(0, 0.999 lambda'_max)`` to bracket the best region (robust to
+    the kinks a revenue floor introduces), then polish with a bounded
+    Brent search around the best grid cell.  Compares the result
+    against admitting nothing.
+
+    Parameters
+    ----------
+    cost_per_time:
+        Fixed operating cost per unit time (>= 0); subtracted from the
+        revenue stream regardless of admission.
+    grid_points:
+        Coarse-grid resolution (>= 4).
+    """
+    if cost_per_time < 0.0:
+        raise ParameterError(
+            f"cost_per_time must be >= 0, got {cost_per_time}"
+        )
+    if grid_points < 4:
+        raise ParameterError(f"grid_points must be >= 4, got {grid_points}")
+    disc = Discipline.coerce(discipline)
+    cap = group.max_generic_rate
+
+    def neg_profit(lam: float) -> float:
+        return -profit_rate(group, lam, revenue, cost_per_time, disc, method)
+
+    grid = np.linspace(cap * 1e-4, cap * 0.999, grid_points)
+    values = np.array([neg_profit(float(g)) for g in grid])
+    best = int(np.argmin(values))
+    lo = grid[max(best - 1, 0)]
+    hi = grid[min(best + 1, grid_points - 1)]
+    opt = minimize_scalar(
+        neg_profit, bounds=(float(lo), float(hi)), method="bounded",
+        options={"xatol": 1e-8 * cap},
+    )
+    lam_star = float(opt.x)
+    profit_star = -float(opt.fun)
+
+    if profit_star <= -cost_per_time:
+        # Selling generic capacity never beats not selling it.
+        return AdmissionResult(
+            admitted_rate=0.0,
+            profit=-cost_per_time,
+            revenue_per_task=0.0,
+            distribution=None,
+            load_fraction=0.0,
+        )
+    dist = optimize_load_distribution(group, lam_star, disc, method)
+    return AdmissionResult(
+        admitted_rate=lam_star,
+        profit=profit_star,
+        revenue_per_task=revenue.per_task(dist.mean_response_time),
+        distribution=dist,
+        load_fraction=lam_star / cap,
+    )

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish the failure modes that matter for a
+load-distribution workflow: invalid model parameters, queueing saturation,
+infeasible optimization instances, and solver non-convergence.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "SaturationError",
+    "InfeasibleError",
+    "ConvergenceError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model parameter is outside its valid domain.
+
+    Raised for non-positive server sizes or speeds, negative arrival
+    rates, non-positive mean execution requirements, and similar
+    violations detected during model construction or evaluation.
+    """
+
+
+class SaturationError(ReproError, ValueError):
+    """A queueing station is at or beyond its stability boundary.
+
+    An M/M/m station is stable only when the utilization
+    ``rho = lambda * xbar / m`` is strictly below one.  Evaluating
+    steady-state metrics at ``rho >= 1`` is meaningless (the waiting
+    queue grows without bound), so the library refuses and raises this
+    error instead of returning infinities.
+    """
+
+    def __init__(self, message: str, *, rho: float | None = None) -> None:
+        super().__init__(message)
+        #: The offending utilization, when known.
+        self.rho = rho
+
+
+class InfeasibleError(ReproError, ValueError):
+    """The optimization instance admits no feasible load distribution.
+
+    Raised when the requested total generic arrival rate ``lambda'``
+    meets or exceeds the aggregate spare capacity
+    ``sum_i (m_i / xbar_i - lambda''_i)`` of the server group.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        total_rate: float | None = None,
+        capacity: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: The requested total generic arrival rate.
+        self.total_rate = total_rate
+        #: The aggregate spare capacity of the group.
+        self.capacity = capacity
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach its tolerance.
+
+    Carries the best iterate found so far (when available) so callers
+    can inspect how close the solver got before giving up.
+    """
+
+    def __init__(self, message: str, *, best: object | None = None) -> None:
+        super().__init__(message)
+        #: Best iterate produced before the failure, if any.
+        self.best = best
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""

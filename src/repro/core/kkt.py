@@ -1,0 +1,143 @@
+"""Water-filling KKT solver built on :func:`scipy.optimize.brentq`.
+
+An independent re-derivation of the paper's optimum used to cross-check
+the faithful bisection transcription.  Structure:
+
+1. For a candidate multiplier ``phi``, each server's optimal rate is the
+   unique root of ``g_i(lambda) = phi`` where ``g_i`` is the (strictly
+   increasing) marginal cost, or 0 when ``g_i(0) >= phi`` — the KKT
+   complementary-slackness case of a server too slow/loaded to deserve
+   any generic traffic at that price level.
+2. The group total ``F(phi) = sum_i lambda_i(phi)`` is continuous and
+   non-decreasing, so the multiplier matching the requested total is
+   found with a second ``brentq`` on ``F(phi) - lambda'``.
+
+Brent's method converges superlinearly, making this solver roughly an
+order of magnitude faster than the plain nested bisection at equal
+tolerance — quantified in ``benchmarks/bench_ablation_solvers.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import brentq
+
+from .exceptions import ConvergenceError, ParameterError
+from .objective import marginal_cost
+from .response import Discipline
+from .result import LoadDistributionResult
+from .server import BladeServerGroup
+
+__all__ = ["solve_kkt", "rate_for_multiplier"]
+
+_STABILITY_MARGIN = 1e-13
+_XTOL = 1e-14
+_MAX_DOUBLINGS = 4000
+
+
+def rate_for_multiplier(
+    m: int,
+    xbar: float,
+    special_rate: float,
+    total_rate: float,
+    phi: float,
+    discipline: Discipline | str = Discipline.FCFS,
+) -> float:
+    """Optimal generic rate of a single server at multiplier ``phi``.
+
+    Returns the root of ``marginal_cost(lambda) = phi`` on the server's
+    stability interval, or its boundary values when the root falls
+    outside (0 below, just-under-capacity above).
+    """
+    cap = m / xbar - special_rate
+    if cap <= 0.0:
+        return 0.0
+    hi = (1.0 - _STABILITY_MARGIN) * cap
+
+    def f(lam: float) -> float:
+        return marginal_cost(m, xbar, special_rate, lam, total_rate, discipline) - phi
+
+    f0 = f(0.0)
+    if f0 >= 0.0:
+        return 0.0
+    fhi = f(hi)
+    if fhi < 0.0:
+        return hi
+    return float(brentq(f, 0.0, hi, xtol=_XTOL, rtol=8.9e-16))
+
+
+def solve_kkt(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    xtol: float = 1e-13,
+) -> LoadDistributionResult:
+    """Optimal load distribution via nested Brent root-finding.
+
+    Parameters mirror :func:`repro.core.bisection.calculate_t_prime`;
+    results agree with it (and with SLSQP) to the solver tolerance,
+    which the integration tests assert.
+    """
+    disc = Discipline.coerce(discipline)
+    group.check_feasible(total_rate)
+    if xtol <= 0.0:
+        raise ParameterError(f"xtol must be > 0, got {xtol}")
+    ms = group.sizes
+    xbars = group.xbars
+    specials = group.special_rates
+    n = group.n
+
+    def rates_for(phi: float) -> np.ndarray:
+        return np.array(
+            [
+                rate_for_multiplier(
+                    int(ms[i]),
+                    float(xbars[i]),
+                    float(specials[i]),
+                    total_rate,
+                    phi,
+                    disc,
+                )
+                for i in range(n)
+            ]
+        )
+
+    def excess(phi: float) -> float:
+        return float(rates_for(phi).sum()) - total_rate
+
+    # Lower bracket: the smallest marginal-at-zero over the group is a
+    # multiplier at which *no* server accepts load, so excess < 0 there.
+    phi_lo = min(
+        marginal_cost(
+            int(ms[i]), float(xbars[i]), float(specials[i]), 0.0, total_rate, disc
+        )
+        for i in range(n)
+    )
+    phi_hi = max(phi_lo, 1e-9)
+    iterations = 0
+    for _ in range(_MAX_DOUBLINGS):
+        iterations += 1
+        if excess(phi_hi) >= 0.0:
+            break
+        phi_hi *= 2.0
+    else:
+        raise ConvergenceError("solve_kkt could not bracket the multiplier")
+
+    phi = float(
+        brentq(excess, phi_lo * (1.0 - 1e-12), phi_hi, xtol=xtol, rtol=8.9e-16)
+    )
+    rates = rates_for(phi)
+    s = rates.sum()
+    if s > 0.0:
+        rates = rates * (total_rate / s)
+    return LoadDistributionResult(
+        generic_rates=rates,
+        mean_response_time=group.mean_response_time(rates, disc),
+        phi=phi,
+        discipline=disc,
+        method="kkt-brentq",
+        utilizations=group.utilizations(rates),
+        per_server_response_times=group.per_server_response_times(rates, disc),
+        iterations=iterations,
+        converged=True,
+    )

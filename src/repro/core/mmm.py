@@ -1,0 +1,185 @@
+"""Complete steady-state metric set for an M/M/m queueing station.
+
+The paper models every blade server as an M/M/m queue and derives, in
+Section 3, the full chain of steady-state quantities leading to the
+average task response time.  :class:`MMmQueue` packages that chain:
+
+=================  ====================================================
+attribute          paper quantity
+=================  ====================================================
+``utilization``    :math:`\\rho = \\lambda \\bar{x} / m`
+``p0``             :math:`p_0`
+``prob_queueing``  :math:`P_q = p_m / (1 - \\rho)`
+``mean_in_system`` :math:`\\bar{N} = m\\rho + \\rho P_q / (1-\\rho)`
+``mean_in_queue``  :math:`\\bar{N}_q = \\rho P_q / (1-\\rho)`
+``response_time``  :math:`T = \\bar{x}(1 + P_q / (m(1-\\rho)))`
+``waiting_time``   :math:`W = T - \\bar{x} = W_0 / (1-\\rho)`
+``w_star``         :math:`W^* = \\bar{x}/m` (next-completion time)
+``w_zero``         :math:`W_0 = P_q W^*` (time until a blade frees)
+=================  ====================================================
+
+Little's law ties the set together (``N = lambda T``, ``N_q = lambda W``)
+and the property-based test suite verifies those identities across the
+whole parameter space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as _np
+
+from .erlang import erlang_c, p_k, p_zero
+from .exceptions import ParameterError, SaturationError
+
+__all__ = ["MMmQueue", "mmm_response_time", "mmm_mean_queue_length"]
+
+
+@dataclass(frozen=True)
+class MMmQueue:
+    """Steady-state M/M/m station with ``m`` blades of mean service ``xbar``.
+
+    Parameters
+    ----------
+    m:
+        Number of identical server blades, ``m >= 1``.
+    xbar:
+        Mean task execution time on one blade,
+        ``xbar = rbar / s`` where ``rbar`` is the mean execution
+        requirement (giga-instructions) and ``s`` the blade speed
+        (giga-instructions per second).  Must be positive.
+    arrival_rate:
+        Total Poisson arrival rate ``lambda`` into the station.  The
+        station is stable only when ``lambda * xbar / m < 1``.
+
+    Raises
+    ------
+    ParameterError
+        If any argument is outside its domain.
+    SaturationError
+        If the resulting utilization is at or above one.
+    """
+
+    m: int
+    xbar: float
+    arrival_rate: float
+    _rho: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.m, (int, _np.integer))
+            or isinstance(self.m, bool)
+            or self.m < 1
+        ):
+            raise ParameterError(f"m must be a positive int, got {self.m!r}")
+        object.__setattr__(self, "m", int(self.m))
+        if not (math.isfinite(self.xbar) and self.xbar > 0.0):
+            raise ParameterError(f"xbar must be finite and > 0, got {self.xbar!r}")
+        if not (math.isfinite(self.arrival_rate) and self.arrival_rate >= 0.0):
+            raise ParameterError(
+                f"arrival_rate must be finite and >= 0, got {self.arrival_rate!r}"
+            )
+        rho = self.arrival_rate * self.xbar / self.m
+        if rho >= 1.0:
+            raise SaturationError(
+                f"station saturated: rho = {rho:.6g} >= 1 "
+                f"(lambda={self.arrival_rate}, xbar={self.xbar}, m={self.m})",
+                rho=rho,
+            )
+        object.__setattr__(self, "_rho", rho)
+
+    # -- primitive quantities -------------------------------------------------
+
+    @property
+    def utilization(self) -> float:
+        """Per-blade utilization ``rho = lambda xbar / m`` (in [0, 1))."""
+        return self._rho
+
+    @property
+    def service_rate(self) -> float:
+        """Per-blade service rate ``mu = 1 / xbar``."""
+        return 1.0 / self.xbar
+
+    @property
+    def capacity(self) -> float:
+        """Maximum sustainable arrival rate ``m / xbar`` of the station."""
+        return self.m / self.xbar
+
+    @property
+    def p0(self) -> float:
+        """Probability that the station is empty."""
+        return p_zero(self.m, self._rho)
+
+    def p(self, k: int) -> float:
+        """Probability of exactly ``k`` tasks in the station."""
+        return p_k(self.m, self._rho, k)
+
+    @property
+    def prob_queueing(self) -> float:
+        """Erlang-C probability that an arrival must wait (``P_q``)."""
+        return erlang_c(self.m, self._rho)
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def w_star(self) -> float:
+        """Expected time to the next task completion, ``W* = xbar / m``.
+
+        The minimum of ``m`` i.i.d. exponentials with mean ``xbar`` —
+        valid at any time by memorylessness, which is the keystone of
+        the paper's priority-waiting-time argument (Theorem 2).
+        """
+        return self.xbar / self.m
+
+    @property
+    def w_zero(self) -> float:
+        """Expected time until a blade becomes available, ``W0 = P_q W*``."""
+        return self.prob_queueing * self.w_star
+
+    @property
+    def waiting_time(self) -> float:
+        """Mean time in the waiting queue, ``W = W0 / (1 - rho)``."""
+        return self.w_zero / (1.0 - self._rho)
+
+    @property
+    def response_time(self) -> float:
+        """Mean response time ``T = xbar + W``."""
+        return self.xbar + self.waiting_time
+
+    @property
+    def mean_in_queue(self) -> float:
+        """Mean number waiting, ``N_q = rho P_q / (1 - rho)``."""
+        return self._rho * self.prob_queueing / (1.0 - self._rho)
+
+    @property
+    def mean_in_system(self) -> float:
+        """Mean number in the station, ``N = m rho + N_q``."""
+        return self.m * self._rho + self.mean_in_queue
+
+    @property
+    def mean_busy_blades(self) -> float:
+        """Mean number of busy blades, ``m rho`` (= offered load)."""
+        return self.m * self._rho
+
+    # -- convenience -----------------------------------------------------------
+
+    def with_arrival_rate(self, arrival_rate: float) -> "MMmQueue":
+        """Return a copy of this station evaluated at a new arrival rate."""
+        return MMmQueue(self.m, self.xbar, arrival_rate)
+
+    def distribution(self, k_max: int) -> list[float]:
+        """Steady-state probabilities ``[p_0, ..., p_{k_max}]``."""
+        if k_max < 0:
+            raise ParameterError(f"k_max must be >= 0, got {k_max}")
+        return [self.p(k) for k in range(k_max + 1)]
+
+
+def mmm_response_time(m: int, xbar: float, arrival_rate: float) -> float:
+    """Functional shortcut for ``MMmQueue(m, xbar, arrival_rate).response_time``."""
+    return MMmQueue(m, xbar, arrival_rate).response_time
+
+
+def mmm_mean_queue_length(m: int, xbar: float, arrival_rate: float) -> float:
+    """Functional shortcut for ``MMmQueue(...).mean_in_queue``."""
+    return MMmQueue(m, xbar, arrival_rate).mean_in_queue

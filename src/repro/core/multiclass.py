@@ -1,0 +1,189 @@
+"""K-class non-preemptive priority on an M/M/m blade server.
+
+Theorem 2 of the paper handles exactly two classes (special above
+generic).  Its proof technique — the memoryless next-completion time
+``W* = xbar/m`` plus Little's-law bookkeeping of who overtakes whom —
+extends verbatim to ``K`` priority levels, giving the classical
+Cobham-style recursion for identical exponential classes:
+
+.. math::
+
+    W_k = \\frac{W_0}{(1 - \\sigma_{k-1})(1 - \\sigma_k)}, \\qquad
+    \\sigma_k = \\sum_{j \\le k} \\rho_j,
+
+where class 1 is the highest priority, ``W_0 = P_q W*`` is the expected
+time until a blade frees, and ``sigma_K = rho`` is the total
+utilization.  Setting ``K = 2`` recovers the paper's ``W''`` (class 1)
+and ``W'`` (class 2) exactly — asserted in the tests — and the
+class-weighted mean equals the FCFS wait (work conservation).
+
+This enables a strictly more general load-distribution problem than the
+paper's: each server may carry a whole *ladder* of dedicated classes,
+with generic traffic slotted at any priority level.
+:func:`generic_response_time_multiclass` gives the generic-task ``T'``
+for that setting, and its derivative is shaped exactly like the paper's
+(the ``rho``-dependent factor is still ``rho^m / (1-rho)^2`` scaled by
+constants in ``rho``), so the standard solvers apply unchanged via the
+:class:`MulticlassServerModel` adapter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .erlang import erlang_c
+from .exceptions import ParameterError, SaturationError
+
+__all__ = [
+    "MulticlassStation",
+    "generic_response_time_multiclass",
+    "multiclass_waiting_times",
+]
+
+
+@dataclass(frozen=True)
+class MulticlassStation:
+    """An M/M/m station carrying ``K`` non-preemptive priority classes.
+
+    Parameters
+    ----------
+    m:
+        Number of blades.
+    xbar:
+        Mean service time (identical across classes, as in the paper:
+        the execution requirement distribution is workload-wide).
+    rates:
+        Arrival rates per class, **highest priority first**.
+    """
+
+    m: int
+    xbar: float
+    rates: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.m, (int, np.integer)) or isinstance(self.m, bool):
+            raise ParameterError(f"m must be an int, got {self.m!r}")
+        if self.m < 1:
+            raise ParameterError(f"m must be >= 1, got {self.m}")
+        if not (math.isfinite(self.xbar) and self.xbar > 0.0):
+            raise ParameterError(f"xbar must be finite and > 0, got {self.xbar!r}")
+        rates = tuple(float(r) for r in self.rates)
+        if not rates:
+            raise ParameterError("need at least one class")
+        if any(not (math.isfinite(r) and r >= 0.0) for r in rates):
+            raise ParameterError(f"rates must be finite and >= 0, got {rates}")
+        object.__setattr__(self, "rates", rates)
+        if self.utilization >= 1.0:
+            raise SaturationError(
+                f"total utilization {self.utilization:.6g} >= 1",
+                rho=self.utilization,
+            )
+
+    @property
+    def k(self) -> int:
+        """Number of priority classes."""
+        return len(self.rates)
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate arrival rate over all classes."""
+        return sum(self.rates)
+
+    @property
+    def utilization(self) -> float:
+        """Total utilization ``rho = lambda xbar / m``."""
+        return self.total_rate * self.xbar / self.m
+
+    @property
+    def cumulative_utilizations(self) -> np.ndarray:
+        """``sigma_k``: utilization of classes ``1..k`` for each ``k``."""
+        per_class = np.asarray(self.rates) * self.xbar / self.m
+        return np.cumsum(per_class)
+
+    @property
+    def w_zero(self) -> float:
+        """Expected time until a blade frees, ``W_0 = P_q xbar / m``."""
+        return erlang_c(self.m, self.utilization) * self.xbar / self.m
+
+    def waiting_times(self) -> np.ndarray:
+        """Mean waiting time of each class (highest priority first).
+
+        Implements the generalized Theorem-2 recursion
+        ``W_k = W_0 / ((1 - sigma_{k-1})(1 - sigma_k))``.
+        """
+        sigma = self.cumulative_utilizations
+        w0 = self.w_zero
+        out = np.empty(self.k)
+        prev = 0.0
+        for k in range(self.k):
+            out[k] = w0 / ((1.0 - prev) * (1.0 - sigma[k]))
+            prev = sigma[k]
+        return out
+
+    def response_times(self) -> np.ndarray:
+        """Mean response time of each class, ``T_k = xbar + W_k``."""
+        return self.xbar + self.waiting_times()
+
+    def conservation_gap(self) -> float:
+        """|class-weighted mean wait - FCFS wait| (should be ~0).
+
+        Work conservation for non-idling, non-preemptive disciplines
+        with a common exponential service law: priorities redistribute
+        waiting, they cannot create or destroy it.  Exposed for tests
+        and sanity checks.
+        """
+        total = self.total_rate
+        if total == 0.0:
+            return 0.0
+        w = self.waiting_times()
+        blended = float(np.dot(self.rates, w)) / total
+        fcfs = self.w_zero / (1.0 - self.utilization)
+        return abs(blended - fcfs)
+
+
+def multiclass_waiting_times(
+    m: int, xbar: float, rates: Sequence[float]
+) -> np.ndarray:
+    """Functional shortcut for :meth:`MulticlassStation.waiting_times`."""
+    return MulticlassStation(m, xbar, tuple(rates)).waiting_times()
+
+
+def generic_response_time_multiclass(
+    m: int,
+    xbar: float,
+    generic_rate: float,
+    dedicated_rates: Sequence[float],
+    generic_level: int | None = None,
+) -> float:
+    """Mean generic-task response time with a ladder of dedicated classes.
+
+    Parameters
+    ----------
+    m, xbar:
+        Server size and mean service time.
+    generic_rate:
+        Arrival rate of the generic class.
+    dedicated_rates:
+        Rates of the dedicated classes, highest priority first.
+    generic_level:
+        Index at which the generic class slots into the ladder
+        (0 = above everything, ``len(dedicated_rates)`` = bottom, the
+        default).  The paper's Theorem 2 is the special case of one
+        dedicated class and ``generic_level = 1``.
+    """
+    dedicated = [float(r) for r in dedicated_rates]
+    if generic_level is None:
+        generic_level = len(dedicated)
+    if not (0 <= generic_level <= len(dedicated)):
+        raise ParameterError(
+            f"generic_level must be in [0, {len(dedicated)}], got {generic_level}"
+        )
+    if generic_rate < 0.0:
+        raise ParameterError(f"generic_rate must be >= 0, got {generic_rate}")
+    ladder = dedicated[:generic_level] + [generic_rate] + dedicated[generic_level:]
+    station = MulticlassStation(m, xbar, tuple(ladder))
+    return float(station.response_times()[generic_level])

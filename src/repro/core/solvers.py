@@ -1,0 +1,99 @@
+"""High-level solver façade: ``optimize_load_distribution``.
+
+The rest of the library (experiments, benchmarks, examples, the
+simulation dispatcher) talks to this one entry point and selects a
+backend by name:
+
+=================  ==========================================================
+method             backend
+=================  ==========================================================
+``"bisection"``    paper's nested bisection (Figs. 2–3), the reference
+``"kkt"``          Brent-based water-filling (default: fastest, same answer)
+``"slsqp"``        scipy SLSQP on the constrained simplex
+``"closed-form"``  Theorems 1/3 (requires all ``m_i = 1``)
+``"auto"``         ``closed-form`` when all sizes are 1, else ``kkt``
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .bisection import calculate_t_prime
+from .closed_form import solve_closed_form
+from .exceptions import ParameterError
+from .kkt import solve_kkt
+from .nlp import solve_nlp
+from .response import Discipline
+from .result import LoadDistributionResult
+from .server import BladeServerGroup
+
+__all__ = ["optimize_load_distribution", "available_methods"]
+
+_Solver = Callable[..., LoadDistributionResult]
+
+_METHODS: dict[str, _Solver] = {
+    "bisection": calculate_t_prime,
+    "kkt": solve_kkt,
+    "slsqp": solve_nlp,
+    "closed-form": solve_closed_form,
+}
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names accepted by ``optimize_load_distribution(..., method=...)``."""
+    return tuple(_METHODS) + ("auto",)
+
+
+def optimize_load_distribution(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    method: str = "auto",
+    **solver_kwargs,
+) -> LoadDistributionResult:
+    """Minimize the mean generic-task response time over a server group.
+
+    Parameters
+    ----------
+    group:
+        The heterogeneous blade-server group (sizes, speeds, special
+        loads, shared ``rbar``).
+    total_rate:
+        Total generic arrival rate ``lambda'`` to distribute.  Must be
+        strictly below ``group.max_generic_rate``.
+    discipline:
+        ``"fcfs"`` (special tasks without priority, paper Section 3) or
+        ``"priority"`` (Section 4).
+    method:
+        Solver backend; see module docstring.  ``"auto"`` picks the
+        closed form when it applies, otherwise the Brent/KKT solver.
+    **solver_kwargs:
+        Passed through to the backend (e.g. ``tol`` for bisection).
+
+    Returns
+    -------
+    LoadDistributionResult
+        Optimal per-server rates, minimized ``T'``, the multiplier
+        ``phi``, and per-server diagnostics.
+
+    Raises
+    ------
+    InfeasibleError
+        If ``total_rate >= group.max_generic_rate``.
+    ParameterError
+        On an unknown method name or invalid inputs.
+    """
+    name = method.lower()
+    if name == "auto":
+        if all(srv.size == 1 for srv in group.servers):
+            name = "closed-form"
+        else:
+            name = "kkt"
+    try:
+        solver = _METHODS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown method {method!r}; available: {available_methods()}"
+        ) from None
+    return solver(group, total_rate, discipline, **solver_kwargs)

@@ -1,0 +1,31 @@
+"""Load-distribution policies: the optimal split plus operator baselines.
+
+``get_policy("optimal")`` wraps the paper's solver; the other names
+(``equal-split``, ``capacity-proportional``, ``spare-proportional``,
+``fastest-first``) are the heuristics benchmarked against it in
+``benchmarks/bench_ablation_policies.py``.
+"""
+
+from .base import LoadDistributionPolicy
+from .baselines import (
+    CapacityProportionalPolicy,
+    EqualSplitPolicy,
+    FastestFirstPolicy,
+    ResponseTimeBalancingPolicy,
+    SpareCapacityProportionalPolicy,
+)
+from .optimal import OptimalPolicy
+from .registry import available_policies, get_policy, register_policy
+
+__all__ = [
+    "CapacityProportionalPolicy",
+    "EqualSplitPolicy",
+    "FastestFirstPolicy",
+    "LoadDistributionPolicy",
+    "OptimalPolicy",
+    "ResponseTimeBalancingPolicy",
+    "SpareCapacityProportionalPolicy",
+    "available_policies",
+    "get_policy",
+    "register_policy",
+]

@@ -1,0 +1,245 @@
+"""Baseline (heuristic) load-distribution policies.
+
+These are the splits an operator might deploy without solving the
+queueing optimization — the comparison set for the optimal policy:
+
+:class:`EqualSplitPolicy`
+    ``lambda'_i = lambda' / n``.  Ignores heterogeneity entirely.
+:class:`CapacityProportionalPolicy`
+    Proportional to raw processing capacity ``m_i s_i``.  Ignores the
+    special-task preload.
+:class:`SpareCapacityProportionalPolicy`
+    Proportional to *spare* capacity ``m_i/xbar_i - lambda''_i`` —
+    equivalently, equalizes every server's utilization.  The strongest
+    simple heuristic and the one the optimal split converges to as the
+    group approaches saturation.
+:class:`FastestFirstPolicy`
+    Greedy water-filling by blade speed: load the fastest server up to
+    a utilization cap, spill to the next.  Models "send everything to
+    the big box" operational folklore.
+:class:`ResponseTimeBalancingPolicy`
+    Equalizes the per-server response times ``T'_i`` instead of the
+    *marginal* costs the optimum equalizes.  The classic plausible-but-
+    wrong heuristic: it looks like load balancing, is feasible whenever
+    the instance is, and is provably suboptimal except in symmetric
+    cases — the gap it leaves is measured in the policy ablation.
+
+All of them go through :class:`LoadDistributionPolicy.distribute`, so
+their analytic ``T'`` is evaluated by the same machinery as the optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..core.exceptions import InfeasibleError, ParameterError
+from ..core.response import Discipline, generic_response_time
+from ..core.server import BladeServerGroup
+from .base import LoadDistributionPolicy
+
+__all__ = [
+    "EqualSplitPolicy",
+    "CapacityProportionalPolicy",
+    "SpareCapacityProportionalPolicy",
+    "FastestFirstPolicy",
+    "ResponseTimeBalancingPolicy",
+]
+
+
+class EqualSplitPolicy(LoadDistributionPolicy):
+    """Uniform split: every server gets ``lambda' / n``."""
+
+    name = "equal-split"
+
+    def rates(
+        self,
+        group: BladeServerGroup,
+        total_rate: float,
+        discipline: Discipline | str = Discipline.FCFS,
+    ) -> np.ndarray:
+        rates = np.full(group.n, total_rate / group.n)
+        if np.any(rates >= group.spare_capacities):
+            raise InfeasibleError(
+                "equal split saturates at least one server",
+                total_rate=total_rate,
+                capacity=float(group.spare_capacities.min()) * group.n,
+            )
+        return rates
+
+
+class CapacityProportionalPolicy(LoadDistributionPolicy):
+    """Split proportional to raw capacity ``m_i s_i`` (ignores preload)."""
+
+    name = "capacity-proportional"
+
+    def rates(
+        self,
+        group: BladeServerGroup,
+        total_rate: float,
+        discipline: Discipline | str = Discipline.FCFS,
+    ) -> np.ndarray:
+        weights = group.sizes * group.speeds
+        rates = weights / weights.sum() * total_rate
+        if np.any(rates >= group.spare_capacities):
+            raise InfeasibleError(
+                "capacity-proportional split saturates a preloaded server",
+                total_rate=total_rate,
+            )
+        return rates
+
+
+class SpareCapacityProportionalPolicy(LoadDistributionPolicy):
+    """Split proportional to spare capacity — equalizes utilizations.
+
+    With ``lambda'_i = c (m_i/xbar_i - lambda''_i)`` every server ends
+    at total utilization ``y + c(1 - y_i)`` (where ``y_i`` is its
+    special utilization); when the preload fraction is uniform this is
+    a perfectly balanced-utilization split, feasible for every feasible
+    ``total_rate``.
+    """
+
+    name = "spare-proportional"
+
+    def rates(
+        self,
+        group: BladeServerGroup,
+        total_rate: float,
+        discipline: Discipline | str = Discipline.FCFS,
+    ) -> np.ndarray:
+        caps = group.spare_capacities
+        return caps / caps.sum() * total_rate
+
+
+class FastestFirstPolicy(LoadDistributionPolicy):
+    """Greedy fill by speed: fastest server first, up to a utilization cap.
+
+    Parameters
+    ----------
+    utilization_cap:
+        Total utilization at which a server is considered "full" and
+        load spills to the next-fastest (default 0.95).  If the whole
+        group fills before ``total_rate`` is placed, the remainder is
+        spread proportionally to spare headroom below the cap is gone —
+        i.e. the policy raises :class:`InfeasibleError` because its own
+        cap makes the instance unservable, even though the optimal
+        policy could still place it.
+    """
+
+    name = "fastest-first"
+
+    def __init__(self, utilization_cap: float = 0.95) -> None:
+        if not (0.0 < utilization_cap < 1.0):
+            raise ParameterError(
+                f"utilization_cap must be in (0,1), got {utilization_cap}"
+            )
+        self.utilization_cap = utilization_cap
+
+    def rates(
+        self,
+        group: BladeServerGroup,
+        total_rate: float,
+        discipline: Discipline | str = Discipline.FCFS,
+    ) -> np.ndarray:
+        order = np.argsort(-group.speeds, kind="stable")
+        rates = np.zeros(group.n)
+        remaining = total_rate
+        for i in order:
+            if remaining <= 0.0:
+                break
+            # Generic headroom up to the cap.
+            cap_rate = (
+                self.utilization_cap * group.sizes[i] / group.xbars[i]
+                - group.special_rates[i]
+            )
+            take = min(remaining, max(cap_rate, 0.0))
+            rates[i] = take
+            remaining -= take
+        if remaining > 1e-12 * max(total_rate, 1.0):
+            raise InfeasibleError(
+                f"fastest-first cannot place {remaining:.6g} of the load "
+                f"under its {self.utilization_cap:.0%} utilization cap",
+                total_rate=total_rate,
+            )
+        # Absorb the tiny numerical residue into the last loaded server.
+        deficit = total_rate - rates.sum()
+        if deficit != 0.0:
+            loaded = np.flatnonzero(rates > 0.0)
+            rates[loaded[-1]] += deficit
+        return rates
+
+
+class ResponseTimeBalancingPolicy(LoadDistributionPolicy):
+    """Equalize per-server response times (not marginals).
+
+    Finds the common level ``c`` such that the rates solving
+    ``T'_i(lambda_i) = c`` (zero where even an empty server exceeds
+    ``c``) sum to the requested total.  Both the per-server inverse and
+    the outer level search use Brent's method — the same water-filling
+    skeleton as the optimal solver, with the *level* in place of the
+    marginal.  Feasible for every feasible instance since ``T'_i``
+    diverges at each server's saturation point.
+    """
+
+    name = "response-time-balancing"
+
+    _MARGIN = 1e-12
+
+    def rates(
+        self,
+        group: BladeServerGroup,
+        total_rate: float,
+        discipline: Discipline | str = Discipline.FCFS,
+    ) -> np.ndarray:
+        disc = Discipline.coerce(discipline)
+        caps = group.spare_capacities * (1.0 - self._MARGIN)
+
+        def rate_at_level(i: int, level: float) -> float:
+            srv = group.servers[i]
+            xbar = srv.xbar(group.rbar)
+
+            def f(lam: float) -> float:
+                return (
+                    generic_response_time(
+                        srv.size, xbar, lam, srv.special_rate, disc
+                    )
+                    - level
+                )
+
+            if f(0.0) >= 0.0:
+                return 0.0
+            hi = float(caps[i])
+            if f(hi) < 0.0:  # pragma: no cover - level below divergence
+                return hi
+            return float(brentq(f, 0.0, hi, xtol=1e-13, rtol=8.9e-16))
+
+        def excess(level: float) -> float:
+            return (
+                sum(rate_at_level(i, level) for i in range(group.n))
+                - total_rate
+            )
+
+        # Bracket the level: below the fastest empty server's T' nobody
+        # takes traffic; double until the group over-absorbs.
+        lo = min(
+            generic_response_time(
+                srv.size, srv.xbar(group.rbar), 0.0, srv.special_rate, disc
+            )
+            for srv in group.servers
+        )
+        hi = max(2.0 * lo, 1e-6)
+        for _ in range(4000):
+            if excess(hi) >= 0.0:
+                break
+            hi *= 2.0
+        else:  # pragma: no cover - defensive
+            raise InfeasibleError(
+                "response-time balancing could not absorb the load",
+                total_rate=total_rate,
+            )
+        level = float(brentq(excess, lo * (1.0 - 1e-12), hi, xtol=1e-12))
+        rates = np.array([rate_at_level(i, level) for i in range(group.n)])
+        s = rates.sum()
+        if s > 0.0:
+            rates = rates * (total_rate / s)
+        return np.minimum(rates, caps)

@@ -1,0 +1,61 @@
+"""Name-based registry of load-distribution policies."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.exceptions import ParameterError
+from .base import LoadDistributionPolicy
+from .baselines import (
+    CapacityProportionalPolicy,
+    EqualSplitPolicy,
+    FastestFirstPolicy,
+    ResponseTimeBalancingPolicy,
+    SpareCapacityProportionalPolicy,
+)
+from .optimal import OptimalPolicy
+
+__all__ = ["get_policy", "available_policies", "register_policy"]
+
+_FACTORIES: dict[str, Callable[[], LoadDistributionPolicy]] = {
+    "optimal": OptimalPolicy,
+    "equal-split": EqualSplitPolicy,
+    "capacity-proportional": CapacityProportionalPolicy,
+    "spare-proportional": SpareCapacityProportionalPolicy,
+    "fastest-first": FastestFirstPolicy,
+    "response-time-balancing": ResponseTimeBalancingPolicy,
+}
+
+
+def available_policies() -> tuple[str, ...]:
+    """Names accepted by :func:`get_policy`."""
+    return tuple(_FACTORIES)
+
+
+def get_policy(name: str, **kwargs) -> LoadDistributionPolicy:
+    """Instantiate a policy by its registry name.
+
+    Keyword arguments are forwarded to the policy constructor (e.g.
+    ``get_policy("fastest-first", utilization_cap=0.9)``).
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise ParameterError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_policy(
+    name: str, factory: Callable[[], LoadDistributionPolicy]
+) -> None:
+    """Register a custom policy factory under ``name``.
+
+    Raises :class:`~repro.core.exceptions.ParameterError` on duplicate
+    names so experiments cannot silently shadow a built-in.
+    """
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ParameterError(f"policy {name!r} is already registered")
+    _FACTORIES[key] = factory

@@ -1,0 +1,15 @@
+"""Registered paper experiments (Tables 1–2, Figures 4–15) and the CLI."""
+
+from .registry import (
+    Experiment,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "Experiment",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,245 @@
+"""Registry of the paper's experiments: Tables 1–2 and Figures 4–15.
+
+Each experiment is a named, parameter-free callable returning a
+renderable result object (:class:`~repro.analysis.tables.PaperTable` or
+:class:`~repro.analysis.figures.FigureSeries`).  The registry is the
+single source of truth shared by the CLI, the benchmarks, and the
+EXPERIMENTS.md generator, so "which experiments exist" is defined in
+exactly one place.
+
+Figure conventions (paper Section 5):
+
+========  ==========================================  ===========
+figure    varied parameter                            discipline
+========  ==========================================  ===========
+fig4/5    server-size vectors (5 groups)              fcfs / prio
+fig6/7    speed offset ``s`` = 1.5 .. 1.9             fcfs / prio
+fig8/9    requirement ``rbar`` = 0.8 .. 1.2           fcfs / prio
+fig10/11  special fraction ``y`` = 0.20 .. 0.40       fcfs / prio
+fig12/13  size heterogeneity (5 groups, m = 56)       fcfs / prio
+fig14/15  speed heterogeneity (5 groups, sum s = 9.1) fcfs / prio
+========  ==========================================  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..analysis.figures import FigureSeries, build_figure
+from ..analysis.tables import PaperTable, reproduce_table
+from ..core.exceptions import ParameterError
+from ..workloads import groups as _groups
+
+__all__ = ["Experiment", "get_experiment", "available_experiments", "run_experiment"]
+
+#: Default sweep resolution for figure experiments.
+DEFAULT_POINTS = 25
+
+#: Default closeness to saturation for figure sweeps.
+DEFAULT_HI_FRACTION = 0.95
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered paper experiment."""
+
+    experiment_id: str
+    description: str
+    kind: str  # "table" | "figure"
+    runner: Callable[..., PaperTable | FigureSeries]
+
+    def run(self, **kwargs) -> PaperTable | FigureSeries:
+        """Execute the experiment (kwargs forwarded to the builder)."""
+        return self.runner(**kwargs)
+
+
+def _table(discipline: str):
+    def run(**kwargs) -> PaperTable:
+        return reproduce_table(discipline, **kwargs)
+
+    return run
+
+
+def _figure(figure_id: str, groups_factory, labels, discipline: str):
+    def run(
+        points: int = DEFAULT_POINTS,
+        hi_fraction: float = DEFAULT_HI_FRACTION,
+        method: str = "kkt",
+    ) -> FigureSeries:
+        return build_figure(
+            figure_id,
+            groups_factory(),
+            labels,
+            discipline,
+            points=points,
+            hi_fraction=hi_fraction,
+            method=method,
+        )
+
+    return run
+
+
+_SIZE_LABELS = tuple(
+    f"Group {i + 1} (m={sum(v)})" for i, v in enumerate(_groups.SIZE_IMPACT_VECTORS)
+)
+_SPEED_LABELS = tuple(f"s={s:.1f}" for s in (1.5, 1.6, 1.7, 1.8, 1.9))
+_RBAR_LABELS = tuple(f"rbar={r:.1f}" for r in (0.8, 0.9, 1.0, 1.1, 1.2))
+_Y_LABELS = tuple(f"y={y:.2f}" for y in (0.20, 0.25, 0.30, 0.35, 0.40))
+_HET_LABELS = tuple(f"Group {i}" for i in range(1, 6))
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def _register(exp: Experiment) -> None:
+    _REGISTRY[exp.experiment_id] = exp
+
+
+_register(
+    Experiment(
+        "table1",
+        "Example 1: optimal distribution, special tasks without priority",
+        "table",
+        _table("fcfs"),
+    )
+)
+_register(
+    Experiment(
+        "table2",
+        "Example 2: optimal distribution, special tasks with priority",
+        "table",
+        _table("priority"),
+    )
+)
+
+for fid, factory, labels, disc, what in (
+    ("fig4", _groups.size_impact_groups, _SIZE_LABELS, "fcfs", "server sizes"),
+    ("fig5", _groups.size_impact_groups, _SIZE_LABELS, "priority", "server sizes"),
+    ("fig6", _groups.speed_impact_groups, _SPEED_LABELS, "fcfs", "server speeds"),
+    ("fig7", _groups.speed_impact_groups, _SPEED_LABELS, "priority", "server speeds"),
+    (
+        "fig8",
+        _groups.requirement_impact_groups,
+        _RBAR_LABELS,
+        "fcfs",
+        "task execution requirement",
+    ),
+    (
+        "fig9",
+        _groups.requirement_impact_groups,
+        _RBAR_LABELS,
+        "priority",
+        "task execution requirement",
+    ),
+    (
+        "fig10",
+        _groups.special_load_impact_groups,
+        _Y_LABELS,
+        "fcfs",
+        "special-task arrival rates",
+    ),
+    (
+        "fig11",
+        _groups.special_load_impact_groups,
+        _Y_LABELS,
+        "priority",
+        "special-task arrival rates",
+    ),
+    (
+        "fig12",
+        _groups.size_heterogeneity_groups,
+        _HET_LABELS,
+        "fcfs",
+        "server size heterogeneity",
+    ),
+    (
+        "fig13",
+        _groups.size_heterogeneity_groups,
+        _HET_LABELS,
+        "priority",
+        "server size heterogeneity",
+    ),
+    (
+        "fig14",
+        _groups.speed_heterogeneity_groups,
+        _HET_LABELS,
+        "fcfs",
+        "server speed heterogeneity",
+    ),
+    (
+        "fig15",
+        _groups.speed_heterogeneity_groups,
+        _HET_LABELS,
+        "priority",
+        "server speed heterogeneity",
+    ),
+):
+    _register(
+        Experiment(
+            fid,
+            f"T' vs lambda': impact of {what} "
+            f"({'priority' if disc == 'priority' else 'no priority'})",
+            "figure",
+            _figure(fid, factory, labels, disc),
+        )
+    )
+
+
+# -- beyond-paper studies ------------------------------------------------------
+
+from . import studies as _studies  # noqa: E402  (registry bootstraps first)
+
+for sid, desc, runner in (
+    (
+        "policy-gap",
+        "optimal vs. heuristic load splits at several load levels",
+        _studies.run_policy_gap,
+    ),
+    (
+        "solver-agreement",
+        "all solver backends on the Tables 1/2 instance",
+        _studies.run_solver_agreement,
+    ),
+    (
+        "robust-service-law",
+        "simulated drift of the optimal split under non-exponential tasks",
+        _studies.run_service_law,
+    ),
+    (
+        "robust-preload",
+        "regret under misestimated special-task rates",
+        _studies.run_preload,
+    ),
+    (
+        "sim-validation",
+        "analytic T' vs. replicated discrete-event simulation",
+        _studies.run_sim_validation,
+    ),
+    (
+        "sensitivity",
+        "envelope-theorem pricing of the paper's rule-of-thumb levers",
+        _studies.run_sensitivity,
+    ),
+):
+    _register(Experiment(sid, desc, "study", runner))
+
+
+def available_experiments() -> tuple[str, ...]:
+    """All registered experiment ids: tables, figures, then studies."""
+    return tuple(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up one experiment by id (e.g. ``"fig12"``)."""
+    try:
+        return _REGISTRY[experiment_id.lower()]
+    except KeyError:
+        raise ParameterError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {available_experiments()}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> PaperTable | FigureSeries:
+    """Shortcut: ``get_experiment(id).run(**kwargs)``."""
+    return get_experiment(experiment_id).run(**kwargs)

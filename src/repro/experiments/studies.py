@@ -1,0 +1,262 @@
+"""Beyond-paper studies, registered alongside the paper experiments.
+
+Each study is a named, parameter-free callable returning an object with
+a ``render()`` method, so the CLI can treat paper reproductions and
+extension studies uniformly:
+
+=======================  ====================================================
+study id                 content
+=======================  ====================================================
+``policy-gap``           optimal vs. heuristic splits across the load range
+``solver-agreement``     all solver backends on the Tables 1/2 instance
+``robust-service-law``   simulated drift under non-exponential requirements
+``robust-preload``       regret under misestimated special-task rates
+``sim-validation``       analytic T' vs. replicated DES, both disciplines
+``sensitivity``          envelope-theorem pricing of the paper's levers
+=======================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.comparison import PolicyComparison, compare_policies
+from ..analysis.robustness import (
+    PreloadMisestimationReport,
+    ServiceLawMismatchReport,
+    preload_misestimation,
+    service_law_mismatch,
+)
+from ..analysis.sensitivity import SensitivityReport, optimal_value_sensitivities
+from ..analysis.validation import ValidationReport, validate_model
+from ..core.server import BladeServerGroup
+from ..core.solvers import optimize_load_distribution
+from ..workloads import example_group
+from ..workloads.paper import EXAMPLE_TOTAL_RATE
+
+__all__ = [
+    "PolicyGapStudy",
+    "SensitivityStudy",
+    "SolverAgreementStudy",
+    "ServiceLawStudy",
+    "PreloadStudy",
+    "SimValidationStudy",
+    "run_policy_gap",
+    "run_sensitivity",
+    "run_solver_agreement",
+    "run_service_law",
+    "run_preload",
+    "run_sim_validation",
+]
+
+
+def _small_group() -> BladeServerGroup:
+    """Scaled-down Example-1 fleet used by the simulation-backed studies."""
+    return BladeServerGroup.with_special_fraction(
+        sizes=[2, 4, 6], speeds=[1.4, 1.2, 1.0], fraction=0.3
+    )
+
+
+@dataclass(frozen=True)
+class PolicyGapStudy:
+    """Policy comparisons at several load fractions."""
+
+    comparisons: tuple[PolicyComparison, ...]
+
+    def render(self) -> str:
+        return "\n\n".join(c.render() for c in self.comparisons)
+
+
+def run_policy_gap(
+    load_fractions: tuple[float, ...] = (0.3, 0.6, 0.9),
+    discipline: str = "fcfs",
+) -> PolicyGapStudy:
+    """Compare all registered policies on the paper's system."""
+    group = example_group()
+    return PolicyGapStudy(
+        comparisons=tuple(
+            compare_policies(group, f * group.max_generic_rate, discipline)
+            for f in load_fractions
+        )
+    )
+
+
+@dataclass(frozen=True)
+class SolverAgreementStudy:
+    """Every backend's T' on the published instance, per discipline."""
+
+    rows: tuple[tuple[str, str, float], ...]
+
+    def render(self) -> str:
+        lines = ["solver agreement on Tables 1/2 (lambda' = 23.52):"]
+        for disc, method, t in self.rows:
+            lines.append(f"  {disc:>8} {method:>10}: T' = {t:.7f}")
+        return "\n".join(lines)
+
+
+def run_solver_agreement() -> SolverAgreementStudy:
+    """Run bisection / kkt / slsqp on both disciplines of the example."""
+    group = example_group()
+    rows = []
+    for disc in ("fcfs", "priority"):
+        for method in ("bisection", "kkt", "slsqp"):
+            res = optimize_load_distribution(
+                group, EXAMPLE_TOTAL_RATE, disc, method
+            )
+            rows.append((disc, method, res.mean_response_time))
+    return SolverAgreementStudy(rows=tuple(rows))
+
+
+@dataclass(frozen=True)
+class ServiceLawStudy:
+    """Drift of the M/M/m-optimal split under other service laws."""
+
+    reports: tuple[ServiceLawMismatchReport, ...]
+
+    def render(self) -> str:
+        lines = ["service-law robustness (simulated at the M/M/m split):"]
+        for rep in self.reports:
+            lines.append(
+                f"  SCV {rep.scv:4.1f}: predicted {rep.predicted:.4f}, "
+                f"simulated {rep.simulated:.4f}, drift {rep.drift:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run_service_law(
+    load_fraction: float = 0.7, seed: int = 17
+) -> ServiceLawStudy:
+    """SCV sweep {0, 0.5, 1, 4} on the scaled fleet."""
+    from ..sim.requirements import (
+        DeterministicRequirement,
+        ErlangRequirement,
+        ExponentialRequirement,
+        HyperExponentialRequirement,
+    )
+
+    group = _small_group()
+    lam = load_fraction * group.max_generic_rate
+    dists = (
+        DeterministicRequirement(group.rbar),
+        ErlangRequirement(group.rbar, k=2),
+        ExponentialRequirement(group.rbar),
+        HyperExponentialRequirement(group.rbar, scv=4.0),
+    )
+    return ServiceLawStudy(
+        reports=tuple(
+            service_law_mismatch(
+                group, lam, d, horizon=5_000.0, warmup=500.0, seed=seed
+            )
+            for d in dists
+        )
+    )
+
+
+@dataclass(frozen=True)
+class PreloadStudy:
+    """Regret under misestimated preload fractions."""
+
+    assumed_fraction: float
+    rows: tuple[tuple[float, PreloadMisestimationReport], ...]
+
+    def render(self) -> str:
+        lines = [
+            f"preload misestimation (optimizer assumed y = "
+            f"{self.assumed_fraction:.2f}):"
+        ]
+        for true_y, rep in self.rows:
+            realized = (
+                "saturated" if rep.saturated else f"{rep.realized:.4f}"
+            )
+            lines.append(
+                f"  true y = {true_y:.2f}: realized {realized}, "
+                f"oracle {rep.oracle:.4f}, regret {rep.regret:.4f}"
+            )
+        return "\n".join(lines)
+
+
+def run_preload(
+    true_fractions: tuple[float, ...] = (0.2, 0.3, 0.4, 0.5),
+    load_fraction: float = 0.6,
+) -> PreloadStudy:
+    """Sweep the true preload around the assumed y = 0.30."""
+    group = _small_group()
+    lam = load_fraction * group.max_generic_rate
+    rows = []
+    for true_y in true_fractions:
+        true_rates = true_y * group.sizes * group.speeds / group.rbar
+        rows.append(
+            (true_y, preload_misestimation(group, true_rates, lam))
+        )
+    return PreloadStudy(assumed_fraction=0.30, rows=tuple(rows))
+
+
+@dataclass(frozen=True)
+class SensitivityStudy:
+    """Envelope sensitivities of the optimized T' at several loads."""
+
+    rows: tuple[tuple[float, SensitivityReport], ...]
+
+    def render(self) -> str:
+        lines = ["envelope sensitivities of the optimized T' (Example 1 fleet):"]
+        for frac, rep in self.rows:
+            lines.append(f"at {frac:.0%} of saturation:")
+            for sub in rep.render().split("\n"):
+                lines.append(f"  {sub}")
+        return "\n".join(lines)
+
+
+def run_sensitivity(
+    load_fractions: tuple[float, ...] = (0.3, 0.6, 0.85),
+) -> SensitivityStudy:
+    """Price the paper's rule-of-thumb levers at several operating points."""
+    group = example_group()
+    return SensitivityStudy(
+        rows=tuple(
+            (
+                f,
+                optimal_value_sensitivities(
+                    group, f * group.max_generic_rate, "fcfs"
+                ),
+            )
+            for f in load_fractions
+        )
+    )
+
+
+@dataclass(frozen=True)
+class SimValidationStudy:
+    """Analytic vs. simulated T' on the published instance."""
+
+    reports: tuple[tuple[str, ValidationReport], ...]
+
+    def render(self) -> str:
+        lines = ["analytic vs. simulation on the Examples 1/2 system:"]
+        for disc, rep in self.reports:
+            lines.append(f"  {disc}: {rep.render()}")
+        return "\n".join(lines)
+
+
+def run_sim_validation(
+    replications: int = 3, horizon: float = 6_000.0, seed: int = 2024
+) -> SimValidationStudy:
+    """Validate both disciplines at the Table 1/2 operating point."""
+    group = example_group()
+    return SimValidationStudy(
+        reports=tuple(
+            (
+                disc,
+                validate_model(
+                    group,
+                    EXAMPLE_TOTAL_RATE,
+                    disc,
+                    replications=replications,
+                    horizon=horizon,
+                    warmup=horizon / 10.0,
+                    seed=seed,
+                    guard_band=0.02,
+                ),
+            )
+            for disc in ("fcfs", "priority")
+        )
+    )

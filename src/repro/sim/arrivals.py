@@ -1,0 +1,171 @@
+"""Arrival processes for the generic stream: Poisson and bursty variants.
+
+The paper's model assumes Poisson generic arrivals.  Real cloud traffic
+is bursty — arrivals cluster.  These processes let the simulator
+quantify what burstiness does to a split that was optimized under the
+Poisson assumption (the arrival-side twin of the service-law robustness
+study in :mod:`repro.sim.requirements`):
+
+:class:`PoissonArrivals`
+    The paper's assumption: i.i.d. exponential inter-arrival times.
+
+:class:`MMPPArrivals`
+    A two-state Markov-modulated Poisson process: the arrival rate
+    alternates between a *calm* and a *burst* level, with exponential
+    sojourns in each state.  The long-run average rate is pinned to the
+    requested ``rate``, so utilizations stay comparable with the
+    Poisson baseline while the index of dispersion grows with the
+    burst/calm ratio.
+
+:class:`HyperexponentialArrivals`
+    A renewal process with two-branch hyperexponential inter-arrival
+    times at a target SCV > 1 — bursty but memoryless between
+    arrivals, isolating the variability effect from the correlation
+    effect MMPP adds.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "HyperexponentialArrivals",
+]
+
+
+class ArrivalProcess(abc.ABC):
+    """A stationary arrival process with a known long-run rate.
+
+    Stateful: the engine owns one instance per run and draws
+    inter-arrival times sequentially through
+    :meth:`next_interarrival`.  Implementations must be deterministic
+    given the generator passed in.
+    """
+
+    def __init__(self, rate: float) -> None:
+        if not (math.isfinite(rate) and rate > 0.0):
+            raise ParameterError(f"rate must be finite and > 0, got {rate!r}")
+        self._rate = float(rate)
+
+    @property
+    def rate(self) -> float:
+        """Long-run average arrival rate."""
+        return self._rate
+
+    @abc.abstractmethod
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        """Time until the next arrival."""
+
+    def reset(self) -> None:
+        """Reset internal state (called once per run); default no-op."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """The paper's Poisson stream (exponential inter-arrivals)."""
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(1.0 / self._rate))
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process at a pinned mean rate.
+
+    Parameters
+    ----------
+    rate:
+        Long-run average arrival rate.
+    burstiness:
+        Ratio of the burst-state rate to the calm-state rate (> 1).
+    mean_sojourn:
+        Mean time spent in each modulation state before switching
+        (equal for both states, so the stationary split is 50/50 and
+        the two state rates are ``2 rate / (1 + b)`` and
+        ``2 rate b / (1 + b)``).
+    """
+
+    def __init__(
+        self, rate: float, burstiness: float = 5.0, mean_sojourn: float = 10.0
+    ) -> None:
+        super().__init__(rate)
+        if not (math.isfinite(burstiness) and burstiness > 1.0):
+            raise ParameterError(
+                f"burstiness must be > 1, got {burstiness!r}"
+            )
+        if not (math.isfinite(mean_sojourn) and mean_sojourn > 0.0):
+            raise ParameterError(
+                f"mean_sojourn must be > 0, got {mean_sojourn!r}"
+            )
+        self._calm_rate = 2.0 * rate / (1.0 + burstiness)
+        self._burst_rate = self._calm_rate * burstiness
+        self._sojourn = float(mean_sojourn)
+        self._in_burst = False
+        #: Time left in the current modulation state.
+        self._state_left = 0.0
+
+    @property
+    def state_rates(self) -> tuple[float, float]:
+        """``(calm_rate, burst_rate)`` of the two modulation states."""
+        return (self._calm_rate, self._burst_rate)
+
+    def reset(self) -> None:
+        self._in_burst = False
+        self._state_left = 0.0
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        """Sample across (possibly several) modulation-state switches.
+
+        Standard competing-exponentials walk: within a state, the next
+        arrival is exponential at the state rate; if the state expires
+        first, time accrues and the process flips state.
+        """
+        elapsed = 0.0
+        for _ in range(10_000):
+            if self._state_left <= 0.0:
+                self._state_left = float(rng.exponential(self._sojourn))
+            lam = self._burst_rate if self._in_burst else self._calm_rate
+            gap = float(rng.exponential(1.0 / lam))
+            if gap <= self._state_left:
+                self._state_left -= gap
+                return elapsed + gap
+            elapsed += self._state_left
+            self._state_left = 0.0
+            self._in_burst = not self._in_burst
+        raise ParameterError(  # pragma: no cover - unreachable for sane params
+            "MMPP failed to produce an arrival within 10000 state switches"
+        )
+
+
+class HyperexponentialArrivals(ArrivalProcess):
+    """Renewal arrivals with hyperexponential inter-arrival times.
+
+    Balanced-means two-branch construction at a target SCV, mirroring
+    :class:`repro.sim.requirements.HyperExponentialRequirement`.
+    """
+
+    def __init__(self, rate: float, scv: float = 4.0) -> None:
+        super().__init__(rate)
+        if not (math.isfinite(scv) and scv > 1.0):
+            raise ParameterError(f"scv must be > 1, got {scv!r}")
+        self._scv = float(scv)
+        mean = 1.0 / rate
+        root = math.sqrt((self._scv - 1.0) / (self._scv + 1.0))
+        self._p1 = 0.5 * (1.0 + root)
+        self._m1 = mean / (2.0 * self._p1)
+        self._m2 = mean / (2.0 * (1.0 - self._p1))
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation of the inter-arrival times."""
+        return self._scv
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        mean = self._m1 if rng.random() < self._p1 else self._m2
+        return float(rng.exponential(mean))

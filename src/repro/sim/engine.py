@@ -1,0 +1,376 @@
+"""Discrete-event simulation engine for a heterogeneous blade-server group.
+
+Realizes the paper's model end-to-end: a group-wide Poisson stream of
+generic tasks split by a dispatcher, independent per-server Poisson
+streams of special tasks, exponential execution requirements shared by
+both classes, ``m_i`` blades of speed ``s_i`` per server, and either the
+shared-FCFS or the non-preemptive-priority discipline.
+
+The engine is the validation substrate for the analytical model: run it
+at the optimizer's rates and the measured mean generic response time
+must match the closed-form ``T'`` (the integration tests assert this
+within confidence intervals — a check the paper itself never performs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.exceptions import ParameterError, SimulationError
+from ..core.response import Discipline
+from ..core.server import BladeServerGroup
+from .arrivals import ArrivalProcess, PoissonArrivals
+from .dispatcher import Dispatcher, ProbabilisticDispatcher
+from .events import EventQueue, EventType
+from .requirements import ExponentialRequirement, RequirementDistribution
+from .rng import StreamFactory, exponential
+from .server import SimServer
+from .stats import BatchMeans, RunningStats, TimeWeightedStats
+from .task import SimTask, TaskClass
+
+__all__ = ["SimulationConfig", "SimulationResult", "GroupSimulation", "simulate_group"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Parameters of one simulation run.
+
+    Attributes
+    ----------
+    total_generic_rate:
+        Group-wide generic arrival rate ``lambda'``.
+    fractions:
+        Routing probabilities ``lambda'_i / lambda'`` (must sum to 1).
+    discipline:
+        Queueing discipline for special tasks.
+    horizon:
+        Simulated time at which the run stops.
+    warmup:
+        Initial transient discarded from all statistics (must be
+        strictly less than ``horizon``).
+    seed:
+        Master seed for all random streams.
+    """
+
+    total_generic_rate: float
+    fractions: tuple[float, ...]
+    discipline: Discipline = Discipline.FCFS
+    horizon: float = 50_000.0
+    warmup: float = 5_000.0
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.total_generic_rate) and self.total_generic_rate > 0):
+            raise ParameterError(
+                f"total_generic_rate must be > 0, got {self.total_generic_rate!r}"
+            )
+        if not (0.0 <= self.warmup < self.horizon):
+            raise ParameterError(
+                f"need 0 <= warmup < horizon, got warmup={self.warmup}, "
+                f"horizon={self.horizon}"
+            )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Measured output of one simulation run.
+
+    All statistics cover the post-warmup window only.
+    """
+
+    #: Mean response time of generic tasks (the paper's ``T'``).
+    generic_response_time: float
+    #: Mean response time of special tasks.
+    special_response_time: float
+    #: Mean waiting time of generic tasks.
+    generic_waiting_time: float
+    #: Mean waiting time of special tasks.
+    special_waiting_time: float
+    #: Per-server measured utilization (busy-blade time / (m * window)).
+    utilizations: np.ndarray
+    #: Per-server time-average number in system.
+    mean_in_system: np.ndarray
+    #: Completed generic tasks counted in the statistics.
+    generic_completed: int
+    #: Completed special tasks counted in the statistics.
+    special_completed: int
+    #: Batch-means accumulator for generic response times (CI queries).
+    generic_batches: BatchMeans = field(repr=False)
+    #: Per-server completed generic-task counts (post-warmup).
+    generic_completed_per_server: np.ndarray = field(default=None, repr=False)
+    #: Completed post-warmup tasks, in completion order (only populated
+    #: when the run was started with ``collect_tasks=True``).
+    task_log: tuple = field(default=(), repr=False)
+
+
+class GroupSimulation:
+    """Event-scheduling simulation of one blade-server group.
+
+    Parameters
+    ----------
+    group:
+        The blade-server group (sizes, speeds, special rates, ``rbar``).
+    config:
+        Run parameters (rates, discipline, horizon, warmup, seed).
+    dispatcher:
+        Optional dispatcher override; defaults to the paper's
+        probabilistic splitter with ``config.fractions``.
+    requirement:
+        Optional execution-requirement distribution; defaults to the
+        paper's exponential with mean ``group.rbar``.  Supplying a
+        non-exponential law (see :mod:`repro.sim.requirements`) turns
+        the run into a robustness experiment — the analytical M/M/m
+        predictions then no longer apply exactly.  The distribution's
+        mean must equal ``group.rbar`` so utilizations stay comparable.
+    collect_tasks:
+        When true, every task completed inside the measurement window
+        is retained in :attr:`SimulationResult.task_log` (memory grows
+        linearly with the horizon — meant for distribution studies,
+        not long production runs).
+    classifier:
+        Optional callable invoked on every newly created task (e.g. to
+        stamp a multi-level :attr:`SimTask.priority`).  Runs before the
+        task is offered to its server.
+    arrivals:
+        Optional generic-stream arrival process (see
+        :mod:`repro.sim.arrivals`); defaults to the paper's Poisson
+        stream at ``config.total_generic_rate``.  A non-Poisson process
+        turns the run into an arrival-burstiness robustness experiment.
+        The process's long-run rate must equal the configured rate.
+    """
+
+    def __init__(
+        self,
+        group: BladeServerGroup,
+        config: SimulationConfig,
+        dispatcher: Dispatcher | None = None,
+        requirement: "RequirementDistribution | None" = None,
+        collect_tasks: bool = False,
+        classifier=None,
+        arrivals: "ArrivalProcess | None" = None,
+    ) -> None:
+        if len(config.fractions) != group.n:
+            raise ParameterError(
+                f"fractions length {len(config.fractions)} != n = {group.n}"
+            )
+        self.group = group
+        self.config = config
+        self._streams = StreamFactory(config.seed)
+        self._arrival_rng = self._streams.stream("generic-arrivals")
+        self._requirement_rng = self._streams.stream("requirements")
+        self._special_rngs = self._streams.spawn(group.n)
+        if dispatcher is None:
+            dispatcher = ProbabilisticDispatcher(
+                config.fractions, self._streams.stream("routing")
+            )
+        self._dispatcher = dispatcher
+        if requirement is None:
+            requirement = ExponentialRequirement(group.rbar)
+        elif abs(requirement.mean - group.rbar) > 1e-9 * group.rbar:
+            raise ParameterError(
+                f"requirement mean {requirement.mean} != group rbar "
+                f"{group.rbar}; utilizations would be incomparable"
+            )
+        self._requirement = requirement
+        self._collect_tasks = bool(collect_tasks)
+        self._classifier = classifier
+        if arrivals is None:
+            arrivals = PoissonArrivals(config.total_generic_rate)
+        elif abs(arrivals.rate - config.total_generic_rate) > 1e-9 * max(
+            arrivals.rate, config.total_generic_rate
+        ):
+            raise ParameterError(
+                f"arrival-process rate {arrivals.rate} != configured "
+                f"total_generic_rate {config.total_generic_rate}"
+            )
+        self._arrivals = arrivals
+        self._servers = [
+            SimServer(i, srv.size, srv.speed, Discipline.coerce(config.discipline))
+            for i, srv in enumerate(group.servers)
+        ]
+        self._task_counter = 0
+
+    # -- task creation ------------------------------------------------------------
+
+    def _new_task(self, cls: TaskClass, server_index: int, now: float) -> SimTask:
+        self._task_counter += 1
+        task = SimTask(
+            task_id=self._task_counter,
+            task_class=cls,
+            server_index=server_index,
+            arrival_time=now,
+            requirement=self._requirement.sample(self._requirement_rng),
+        )
+        if self._classifier is not None:
+            self._classifier(task)
+        return task
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the run and return post-warmup statistics."""
+        cfg = self.config
+        n = self.group.n
+        events = EventQueue()
+        measuring = cfg.warmup == 0.0
+
+        # Statistics containers.
+        gen_resp = BatchMeans(n_batches=20)
+        gen_wait = RunningStats()
+        spec_resp = RunningStats()
+        spec_wait = RunningStats()
+        busy_tw = [TimeWeightedStats() for _ in range(n)]
+        system_tw = [TimeWeightedStats() for _ in range(n)]
+        gen_done = 0
+        spec_done = 0
+        gen_done_per_server = np.zeros(n, dtype=np.int64)
+        task_log: list[SimTask] = []
+
+        for i in range(n):
+            busy_tw[i].reset(0.0, 0.0)
+            system_tw[i].reset(0.0, 0.0)
+
+        # Prime the arrival streams.
+        self._arrivals.reset()
+        events.schedule(
+            self._arrivals.next_interarrival(self._arrival_rng),
+            EventType.GENERIC_ARRIVAL,
+        )
+        for i, srv in enumerate(self.group.servers):
+            if srv.special_rate > 0.0:
+                events.schedule(
+                    exponential(self._special_rngs[i], 1.0 / srv.special_rate),
+                    EventType.SPECIAL_ARRIVAL,
+                    payload=i,
+                )
+        if cfg.warmup > 0.0:
+            events.schedule(cfg.warmup, EventType.END_OF_WARMUP)
+        events.schedule(cfg.horizon, EventType.END_OF_RUN)
+
+        def record_state(i: int, now: float) -> None:
+            busy_tw[i].update(now, self._servers[i].busy)
+            system_tw[i].update(now, self._servers[i].in_system)
+
+        def start_service(task: SimTask, now: float) -> None:
+            service = task.service_time(self.group.speeds[task.server_index])
+            events.schedule(now + service, EventType.DEPARTURE, payload=task)
+
+        while events:
+            ev = events.pop()
+            now = ev.time
+
+            if ev.kind is EventType.END_OF_RUN:
+                break
+
+            if ev.kind is EventType.END_OF_WARMUP:
+                # Restart every integrator at the current state and drop
+                # all per-task statistics collected so far.
+                measuring = True
+                for i in range(n):
+                    busy_tw[i].reset(now, self._servers[i].busy)
+                    system_tw[i].reset(now, self._servers[i].in_system)
+                continue
+
+            if ev.kind is EventType.GENERIC_ARRIVAL:
+                # Schedule the next generic arrival, then route this one.
+                events.schedule(
+                    now + self._arrivals.next_interarrival(self._arrival_rng),
+                    EventType.GENERIC_ARRIVAL,
+                )
+                dest = self._dispatcher.route(self._servers)
+                task = self._new_task(TaskClass.GENERIC, dest, now)
+                started = self._servers[dest].on_arrival(task, now)
+                if started is not None:
+                    start_service(started, now)
+                record_state(dest, now)
+                continue
+
+            if ev.kind is EventType.SPECIAL_ARRIVAL:
+                i = ev.payload
+                rate = self.group.servers[i].special_rate
+                events.schedule(
+                    now + exponential(self._special_rngs[i], 1.0 / rate),
+                    EventType.SPECIAL_ARRIVAL,
+                    payload=i,
+                )
+                task = self._new_task(TaskClass.SPECIAL, i, now)
+                started = self._servers[i].on_arrival(task, now)
+                if started is not None:
+                    start_service(started, now)
+                record_state(i, now)
+                continue
+
+            if ev.kind is EventType.DEPARTURE:
+                task = ev.payload
+                task.completion_time = now
+                i = task.server_index
+                nxt = self._servers[i].on_departure(now)
+                if nxt is not None:
+                    start_service(nxt, now)
+                record_state(i, now)
+                # Count the completion only if the task *arrived* after
+                # warmup, so its whole sojourn lies in the window.
+                if measuring and task.arrival_time >= cfg.warmup:
+                    if self._collect_tasks:
+                        task_log.append(task)
+                    if task.task_class is TaskClass.GENERIC:
+                        gen_resp.add(task.response_time)
+                        gen_wait.add(task.waiting_time)
+                        gen_done += 1
+                        gen_done_per_server[i] += 1
+                    else:
+                        spec_resp.add(task.response_time)
+                        spec_wait.add(task.waiting_time)
+                        spec_done += 1
+                continue
+
+            raise SimulationError(f"unhandled event kind {ev.kind}")  # pragma: no cover
+
+        end = cfg.horizon
+        utilizations = np.array(
+            [busy_tw[i].mean(end) / self.group.servers[i].size for i in range(n)]
+        )
+        mean_in_system = np.array([system_tw[i].mean(end) for i in range(n)])
+        if gen_done == 0:
+            raise SimulationError(
+                "no generic task completed inside the measurement window; "
+                "increase the horizon"
+            )
+        return SimulationResult(
+            generic_response_time=gen_resp.mean,
+            special_response_time=spec_resp.mean if spec_done else float("nan"),
+            generic_waiting_time=gen_wait.mean,
+            special_waiting_time=spec_wait.mean if spec_done else float("nan"),
+            utilizations=utilizations,
+            mean_in_system=mean_in_system,
+            generic_completed=gen_done,
+            special_completed=spec_done,
+            generic_batches=gen_resp,
+            generic_completed_per_server=gen_done_per_server,
+            task_log=tuple(task_log),
+        )
+
+
+def simulate_group(
+    group: BladeServerGroup,
+    total_generic_rate: float,
+    fractions,
+    discipline: Discipline | str = Discipline.FCFS,
+    horizon: float = 50_000.0,
+    warmup: float = 5_000.0,
+    seed: int | None = 0,
+    requirement: RequirementDistribution | None = None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`GroupSimulation`."""
+    config = SimulationConfig(
+        total_generic_rate=total_generic_rate,
+        fractions=tuple(float(f) for f in fractions),
+        discipline=Discipline.coerce(discipline),
+        horizon=horizon,
+        warmup=warmup,
+        seed=seed,
+    )
+    return GroupSimulation(group, config, requirement=requirement).run()

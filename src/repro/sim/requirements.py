@@ -1,0 +1,157 @@
+"""Task execution-requirement distributions for robustness studies.
+
+The paper's model (and our analytical core) assumes exponential
+execution requirements — that is what makes each server M/M/m.  Real
+workloads are rarely exponential, so the natural robustness question
+is: *how wrong does the optimal split become when the requirement
+distribution is not exponential?*  These samplers let the simulator
+answer it by swapping the service law while keeping the mean fixed:
+
+================================  =====  =============================
+distribution                       SCV    models
+================================  =====  =============================
+:class:`ExponentialRequirement`   1      the paper's assumption
+:class:`DeterministicRequirement` 0      fixed-size batch jobs
+:class:`ErlangRequirement`        1/k    low-variability pipelines
+:class:`HyperExponentialRequirement`  >1  heavy-tailed request mixes
+================================  =====  =============================
+
+(SCV = squared coefficient of variation, variance / mean².)  The
+benchmark ``bench_robustness.py`` sweeps SCV and measures the drift of
+the simulated ``T'`` from the M/M/m prediction at the M/M/m-optimal
+split.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+
+__all__ = [
+    "RequirementDistribution",
+    "ExponentialRequirement",
+    "DeterministicRequirement",
+    "ErlangRequirement",
+    "HyperExponentialRequirement",
+]
+
+
+class RequirementDistribution(abc.ABC):
+    """A positive task-size distribution with a known mean and SCV."""
+
+    def __init__(self, mean: float) -> None:
+        if not (math.isfinite(mean) and mean > 0.0):
+            raise ParameterError(f"mean must be finite and > 0, got {mean!r}")
+        self._mean = float(mean)
+
+    @property
+    def mean(self) -> float:
+        """Expected requirement (giga-instructions)."""
+        return self._mean
+
+    @property
+    @abc.abstractmethod
+    def scv(self) -> float:
+        """Squared coefficient of variation, ``Var/mean^2``."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one requirement."""
+
+
+class ExponentialRequirement(RequirementDistribution):
+    """The paper's exponential requirement (SCV = 1)."""
+
+    @property
+    def scv(self) -> float:
+        return 1.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self._mean))
+
+
+class DeterministicRequirement(RequirementDistribution):
+    """Constant requirement (SCV = 0) — the M/D/m end of the spectrum."""
+
+    @property
+    def scv(self) -> float:
+        return 0.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self._mean
+
+
+class ErlangRequirement(RequirementDistribution):
+    """Erlang-k requirement (SCV = 1/k): sum of ``k`` exponential stages."""
+
+    def __init__(self, mean: float, k: int = 2) -> None:
+        super().__init__(mean)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise ParameterError(f"k must be a positive int, got {k!r}")
+        self._k = k
+
+    @property
+    def k(self) -> int:
+        """Number of stages."""
+        return self._k
+
+    @property
+    def scv(self) -> float:
+        return 1.0 / self._k
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.gamma(shape=self._k, scale=self._mean / self._k))
+
+
+class HyperExponentialRequirement(RequirementDistribution):
+    """Two-branch hyperexponential with a target SCV > 1.
+
+    Uses the standard *balanced-means* parameterization: branch ``i``
+    is chosen with probability ``p_i`` and is exponential with mean
+    ``mean_i``, where ``p_1 mean_1 = p_2 mean_2`` and
+
+    .. math::
+
+        p_{1,2} = \\frac{1}{2}\\left(1 \\pm
+            \\sqrt{\\frac{c^2 - 1}{c^2 + 1}}\\right)
+
+    for target SCV ``c^2``.  Models bursty request mixes (mice and
+    elephants) while keeping the mean exact.
+    """
+
+    def __init__(self, mean: float, scv: float = 4.0) -> None:
+        super().__init__(mean)
+        if not (math.isfinite(scv) and scv > 1.0):
+            raise ParameterError(
+                f"hyperexponential needs scv > 1, got {scv!r} "
+                f"(use Erlang/Exponential for scv <= 1)"
+            )
+        self._scv = float(scv)
+        root = math.sqrt((self._scv - 1.0) / (self._scv + 1.0))
+        self._p1 = 0.5 * (1.0 + root)
+        self._p2 = 1.0 - self._p1
+        # Balanced means: p1*m1 = p2*m2 = mean/2.
+        self._m1 = self._mean / (2.0 * self._p1)
+        self._m2 = self._mean / (2.0 * self._p2)
+
+    @property
+    def scv(self) -> float:
+        return self._scv
+
+    @property
+    def branch_probabilities(self) -> tuple[float, float]:
+        """``(p_1, p_2)`` of the two branches."""
+        return (self._p1, self._p2)
+
+    @property
+    def branch_means(self) -> tuple[float, float]:
+        """``(mean_1, mean_2)`` of the two branches."""
+        return (self._m1, self._m2)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        mean = self._m1 if rng.random() < self._p1 else self._m2
+        return float(rng.exponential(mean))

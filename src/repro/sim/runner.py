@@ -1,0 +1,108 @@
+"""Replication runner: independent runs and confidence intervals.
+
+One simulation run gives a point estimate whose error is hard to judge;
+``k`` independent replications (distinct seeds spawned from one master
+seed) give i.i.d. run means and a Student-t confidence interval — the
+standard "replication/deletion" method.  This is what the validation
+harness and the simulation benchmarks use to decide whether the
+analytic ``T'`` lies inside the simulation's error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from ..core.exceptions import ParameterError
+from ..core.response import Discipline
+from ..core.server import BladeServerGroup
+from .engine import SimulationConfig, GroupSimulation, SimulationResult
+from .stats import ConfidenceInterval
+
+__all__ = ["ReplicatedResult", "run_replications"]
+
+
+@dataclass(frozen=True)
+class ReplicatedResult:
+    """Aggregate of ``k`` independent simulation replications."""
+
+    #: Per-replication results, in seed order.
+    replications: tuple[SimulationResult, ...]
+    #: CI on the mean generic response time across replications.
+    generic_response_time: ConfidenceInterval
+    #: CI on the mean special response time (``nan`` CI if no specials).
+    special_response_time: ConfidenceInterval
+    #: Mean per-server utilizations across replications.
+    utilizations: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of replications."""
+        return len(self.replications)
+
+
+def _t_interval(values: Sequence[float], level: float) -> ConfidenceInterval:
+    vals = [v for v in values if not math.isnan(v)]
+    if not vals:
+        return ConfidenceInterval(float("nan"), float("nan"), level)
+    mean = sum(vals) / len(vals)
+    if len(vals) == 1:
+        return ConfidenceInterval(mean, float("inf"), level)
+    var = sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+    t_crit = float(_scipy_stats.t.ppf(0.5 + level / 2.0, df=len(vals) - 1))
+    return ConfidenceInterval(mean, t_crit * math.sqrt(var / len(vals)), level)
+
+
+def run_replications(
+    group: BladeServerGroup,
+    total_generic_rate: float,
+    fractions: Sequence[float],
+    discipline: Discipline | str = Discipline.FCFS,
+    *,
+    replications: int = 5,
+    horizon: float = 50_000.0,
+    warmup: float = 5_000.0,
+    seed: int = 0,
+    level: float = 0.95,
+) -> ReplicatedResult:
+    """Run ``replications`` independent simulations and aggregate.
+
+    Parameters
+    ----------
+    group, total_generic_rate, fractions, discipline:
+        As for :func:`repro.sim.engine.simulate_group`.
+    replications:
+        Number of independent runs (>= 1); seeds are ``seed + j``.
+    horizon, warmup:
+        Per-run simulated time and discarded transient.
+    level:
+        Confidence level of the reported intervals.
+    """
+    if replications < 1:
+        raise ParameterError(f"replications must be >= 1, got {replications}")
+    disc = Discipline.coerce(discipline)
+    results: list[SimulationResult] = []
+    for j in range(replications):
+        config = SimulationConfig(
+            total_generic_rate=total_generic_rate,
+            fractions=tuple(float(f) for f in fractions),
+            discipline=disc,
+            horizon=horizon,
+            warmup=warmup,
+            seed=seed + j,
+        )
+        results.append(GroupSimulation(group, config).run())
+    return ReplicatedResult(
+        replications=tuple(results),
+        generic_response_time=_t_interval(
+            [r.generic_response_time for r in results], level
+        ),
+        special_response_time=_t_interval(
+            [r.special_response_time for r in results], level
+        ),
+        utilizations=np.mean([r.utilizations for r in results], axis=0),
+    )

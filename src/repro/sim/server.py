@@ -1,0 +1,137 @@
+"""Simulated blade server: ``m`` blades plus a multi-level priority queue.
+
+Implements exactly the paper's service model, generalized to ``K``
+priority levels (the paper's Section 4 is the two-level special case):
+
+* ``m_i`` identical blades of speed ``s_i``; a task with requirement
+  ``r`` occupies one blade for ``r / s_i`` time units.
+* Infinite-capacity waiting queue.
+* **FCFS discipline**: all tasks share one FIFO queue regardless of
+  class or priority.
+* **Priority discipline**: one FIFO queue per priority level (lower
+  level number = served first); a freed blade always takes the head of
+  the highest-priority non-empty queue, and service is non-preemptive
+  ("the processing of a task cannot be interrupted").  Tasks default to
+  the paper's scheme — special = level 0, generic = level 1 — via
+  :attr:`SimTask.effective_priority`.
+
+The server is a passive component: the engine calls :meth:`on_arrival`
+and :meth:`on_departure` and schedules the departure events the server
+hands back.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.exceptions import SimulationError
+from ..core.response import Discipline
+from .task import SimTask
+
+__all__ = ["SimServer"]
+
+
+class SimServer:
+    """State of one blade server inside the simulation.
+
+    Parameters
+    ----------
+    index:
+        Position of the server in the group (used in task records).
+    size:
+        Number of blades ``m_i``.
+    speed:
+        Blade speed ``s_i``.
+    discipline:
+        Queueing discipline (FCFS or multi-level priority).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        size: int,
+        speed: float,
+        discipline: Discipline = Discipline.FCFS,
+    ) -> None:
+        self.index = index
+        self.size = size
+        self.speed = speed
+        self.discipline = Discipline.coerce(discipline)
+        self.busy = 0
+        #: FCFS mode: the single shared queue.
+        self._fifo: deque[SimTask] = deque()
+        #: Priority mode: one FIFO per level, keyed by level number.
+        self._levels: dict[int, deque[SimTask]] = {}
+        #: Sorted level numbers with (possibly) non-empty queues.
+        self._level_order: list[int] = []
+        #: Cumulative counters (never reset; diagnostics only).
+        self.arrivals = 0
+        self.completions = 0
+
+    # -- queue state -------------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Number of tasks waiting (not in service)."""
+        if self.discipline is Discipline.FCFS:
+            return len(self._fifo)
+        return sum(len(q) for q in self._levels.values())
+
+    @property
+    def in_system(self) -> int:
+        """Tasks waiting plus tasks in service."""
+        return self.queue_length + self.busy
+
+    # -- event handlers ------------------------------------------------------------
+
+    def on_arrival(self, task: SimTask, now: float) -> SimTask | None:
+        """Accept an arriving task.
+
+        Returns the task if it enters service immediately (the engine
+        must then schedule its departure), or ``None`` if it queued.
+        """
+        self.arrivals += 1
+        if self.busy < self.size:
+            self.busy += 1
+            task.start_time = now
+            return task
+        if self.discipline is Discipline.FCFS:
+            self._fifo.append(task)
+        else:
+            level = task.effective_priority
+            q = self._levels.get(level)
+            if q is None:
+                q = deque()
+                self._levels[level] = q
+                self._level_order = sorted(self._levels)
+            q.append(task)
+        return None
+
+    def on_departure(self, now: float) -> SimTask | None:
+        """Complete one service.
+
+        Frees a blade and, if the queue is non-empty, immediately
+        starts the next task per the discipline.  Returns that task
+        (the engine schedules its departure) or ``None`` if the blade
+        went idle.
+        """
+        if self.busy <= 0:
+            raise SimulationError(
+                f"departure on server {self.index} with no busy blade"
+            )
+        self.completions += 1
+        nxt = self._pop_next()
+        if nxt is None:
+            self.busy -= 1
+            return None
+        nxt.start_time = now
+        return nxt
+
+    def _pop_next(self) -> SimTask | None:
+        if self.discipline is Discipline.FCFS:
+            return self._fifo.popleft() if self._fifo else None
+        for level in self._level_order:
+            q = self._levels[level]
+            if q:
+                return q.popleft()
+        return None

@@ -1,0 +1,239 @@
+"""Online statistics for simulation output analysis.
+
+Provides the estimators the validation harness relies on:
+
+* :class:`RunningStats` — Welford's numerically stable online
+  mean/variance accumulator (single pass, no stored samples).
+* :class:`TimeWeightedStats` — time-average of a piecewise-constant
+  signal (queue lengths, busy-blade counts) via trapezoid-free
+  rectangle integration between change points.
+* :class:`BatchMeans` — the method of batch means for confidence
+  intervals on a *correlated* stationary output series (per-task
+  response times are heavily autocorrelated, so naive i.i.d. CIs would
+  be far too tight).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy import stats as _scipy_stats
+
+from ..core.exceptions import ParameterError, SimulationError
+
+__all__ = ["RunningStats", "TimeWeightedStats", "BatchMeans", "ConfidenceInterval"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval ``mean ± half_width``."""
+
+    mean: float
+    half_width: float
+    level: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.6g} ± {self.half_width:.3g} ({self.level:.0%})"
+
+
+class RunningStats:
+    """Welford online accumulator for mean and variance.
+
+    Numerically stable for arbitrarily long streams (the textbook
+    two-pass formula catastrophically cancels; Welford does not).
+    """
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, x: float) -> None:
+        """Fold one observation into the accumulator."""
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator into this one (parallel Welford)."""
+        if other._n == 0:
+            return
+        if self._n == 0:
+            self._n, self._mean, self._m2 = other._n, other._mean, other._m2
+            self._min, self._max = other._min, other._max
+            return
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        self._mean += delta * other._n / n
+        self._m2 += other._m2 + delta * delta * self._n * other._n / n
+        self._n = n
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise SimulationError("mean of an empty RunningStats")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (needs at least two observations)."""
+        if self._n < 2:
+            raise SimulationError("variance needs at least 2 observations")
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise SimulationError("minimum of an empty RunningStats")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise SimulationError("maximum of an empty RunningStats")
+        return self._max
+
+
+class TimeWeightedStats:
+    """Time-average of a piecewise-constant signal.
+
+    Used for mean queue lengths and mean busy-blade counts: the signal
+    holds its value between events, so the time integral is a sum of
+    ``value * holding_time`` rectangles.
+    """
+
+    __slots__ = ("_last_time", "_last_value", "_area", "_start", "_started")
+
+    def __init__(self) -> None:
+        self._last_time = 0.0
+        self._last_value = 0.0
+        self._area = 0.0
+        self._start = 0.0
+        self._started = False
+
+    def reset(self, time: float, value: float) -> None:
+        """(Re)start integration at ``time`` with the current ``value``.
+
+        Called at the end of warmup so the transient is discarded.
+        """
+        self._start = time
+        self._last_time = time
+        self._last_value = value
+        self._area = 0.0
+        self._started = True
+
+    def update(self, time: float, value: float) -> None:
+        """Record that the signal changed to ``value`` at ``time``."""
+        if not self._started:
+            self.reset(time, value)
+            return
+        if time < self._last_time:
+            raise SimulationError(
+                f"time went backwards: {time} < {self._last_time}"
+            )
+        self._area += self._last_value * (time - self._last_time)
+        self._last_time = time
+        self._last_value = value
+
+    def mean(self, end_time: float) -> float:
+        """Time-average over ``[start, end_time]``."""
+        if not self._started:
+            raise SimulationError("mean() before any update()")
+        if end_time < self._last_time:
+            raise ParameterError(
+                f"end_time {end_time} precedes last update {self._last_time}"
+            )
+        total = end_time - self._start
+        if total <= 0.0:
+            raise SimulationError("zero-length observation window")
+        area = self._area + self._last_value * (end_time - self._last_time)
+        return area / total
+
+
+class BatchMeans:
+    """Confidence intervals for correlated output via batch means.
+
+    Observations are grouped into ``n_batches`` contiguous batches;
+    batch averages are approximately i.i.d. normal for large batches,
+    so a Student-t interval on them is asymptotically valid despite the
+    autocorrelation of the raw series.
+
+    Observations are streamed in; the batch boundaries are rebuilt
+    lazily at query time from a fixed target batch count.
+    """
+
+    def __init__(self, n_batches: int = 20) -> None:
+        if n_batches < 2:
+            raise ParameterError(f"need at least 2 batches, got {n_batches}")
+        self._n_batches = n_batches
+        self._values: list[float] = []
+
+    def add(self, x: float) -> None:
+        """Append one observation."""
+        self._values.append(x)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise SimulationError("mean of an empty BatchMeans")
+        return sum(self._values) / len(self._values)
+
+    def interval(self, level: float = 0.95) -> ConfidenceInterval:
+        """Student-t CI on the mean from the batch averages.
+
+        Trailing observations that do not fill a whole batch are
+        dropped (standard practice; keeps batches equal-sized).
+        """
+        if not (0.0 < level < 1.0):
+            raise ParameterError(f"level must be in (0,1), got {level}")
+        k = self._n_batches
+        b = len(self._values) // k
+        if b < 1:
+            raise SimulationError(
+                f"need at least {k} observations for {k} batches, "
+                f"have {len(self._values)}"
+            )
+        batch_avgs = [
+            sum(self._values[i * b : (i + 1) * b]) / b for i in range(k)
+        ]
+        grand = sum(batch_avgs) / k
+        var = sum((a - grand) ** 2 for a in batch_avgs) / (k - 1)
+        t_crit = float(_scipy_stats.t.ppf(0.5 + level / 2.0, df=k - 1))
+        half = t_crit * math.sqrt(var / k)
+        return ConfidenceInterval(mean=grand, half_width=half, level=level)

@@ -1,0 +1,81 @@
+"""Task records flowing through the simulated blade-server group."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["TaskClass", "SimTask"]
+
+
+class TaskClass(enum.Enum):
+    """Workload class of a simulated task.
+
+    ``GENERIC`` tasks arrive in one group-wide Poisson stream and are
+    routed by the dispatcher; ``SPECIAL`` tasks arrive in dedicated
+    per-server Poisson streams and are pinned to their server.
+    """
+
+    GENERIC = "generic"
+    SPECIAL = "special"
+
+
+@dataclass(slots=True)
+class SimTask:
+    """A single task's lifecycle through the simulation.
+
+    Attributes
+    ----------
+    task_id:
+        Monotonically increasing unique id (also the FIFO tiebreaker).
+    task_class:
+        ``GENERIC`` or ``SPECIAL``.
+    server_index:
+        Index of the blade server executing the task.
+    arrival_time:
+        Simulation time the task entered the system.
+    requirement:
+        Execution requirement ``r`` in giga-instructions (exponential
+        with mean ``rbar``); the service time on server ``i`` is
+        ``r / s_i``.
+    start_time:
+        Time service began (``nan`` until scheduled).
+    completion_time:
+        Time service finished (``nan`` until completed).
+    priority:
+        Priority level under the priority discipline; lower numbers are
+        served first.  Defaults to the paper's two-level scheme
+        (``SPECIAL`` = 0 above ``GENERIC`` = 1) via
+        :meth:`effective_priority`; set explicitly for K-class
+        experiments.  Ignored under FCFS.
+    """
+
+    task_id: int
+    task_class: TaskClass
+    server_index: int
+    arrival_time: float
+    requirement: float
+    start_time: float = field(default=float("nan"))
+    completion_time: float = field(default=float("nan"))
+    priority: int | None = None
+
+    @property
+    def effective_priority(self) -> int:
+        """Priority level, defaulting to the paper's two-class scheme."""
+        if self.priority is not None:
+            return self.priority
+        return 0 if self.task_class is TaskClass.SPECIAL else 1
+
+    def service_time(self, speed: float) -> float:
+        """Execution time ``r / s`` on a blade of the given speed."""
+        return self.requirement / speed
+
+    @property
+    def response_time(self) -> float:
+        """Total time in system (``nan`` if not yet completed)."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def waiting_time(self) -> float:
+        """Time spent in the waiting queue (``nan`` if never started)."""
+        return self.start_time - self.arrival_time

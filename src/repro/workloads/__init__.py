@@ -1,0 +1,64 @@
+"""Workload and configuration factories for the paper's experiments."""
+
+from .groups import (
+    SIZE_HETEROGENEITY_VECTORS,
+    SIZE_IMPACT_VECTORS,
+    SPEED_HETEROGENEITY_VECTORS,
+    example_group,
+    paper_sizes,
+    paper_speeds,
+    requirement_impact_groups,
+    size_heterogeneity_groups,
+    size_impact_groups,
+    special_load_impact_groups,
+    speed_heterogeneity_groups,
+    speed_impact_groups,
+)
+from .heterogeneity import (
+    coefficient_of_variation,
+    scaled_size_group,
+    scaled_speed_group,
+    size_cv,
+    speed_cv,
+)
+from .paper import (
+    EXAMPLE_TOTAL_RATE,
+    TABLE1_RATES,
+    TABLE1_T_PRIME,
+    TABLE1_UTILIZATIONS,
+    TABLE2_RATES,
+    TABLE2_T_PRIME,
+    TABLE2_UTILIZATIONS,
+    example_instance,
+)
+from .sweeps import shared_sweep, sweep_rates
+
+__all__ = [
+    "EXAMPLE_TOTAL_RATE",
+    "SIZE_HETEROGENEITY_VECTORS",
+    "SIZE_IMPACT_VECTORS",
+    "SPEED_HETEROGENEITY_VECTORS",
+    "TABLE1_RATES",
+    "TABLE1_T_PRIME",
+    "TABLE1_UTILIZATIONS",
+    "TABLE2_RATES",
+    "TABLE2_T_PRIME",
+    "TABLE2_UTILIZATIONS",
+    "coefficient_of_variation",
+    "example_group",
+    "example_instance",
+    "paper_sizes",
+    "paper_speeds",
+    "requirement_impact_groups",
+    "scaled_size_group",
+    "scaled_speed_group",
+    "shared_sweep",
+    "size_cv",
+    "size_heterogeneity_groups",
+    "size_impact_groups",
+    "special_load_impact_groups",
+    "speed_cv",
+    "speed_heterogeneity_groups",
+    "speed_impact_groups",
+    "sweep_rates",
+]

@@ -1,0 +1,184 @@
+"""Factories for the paper's server-group parameterizations.
+
+Section 5 of the paper evaluates the optimizer across families of
+seven-server groups; every family is reproduced here as a named
+factory so experiments and benchmarks share one source of truth for
+the configurations:
+
+* :func:`example_group` — the Examples 1/2 system
+  (``m_i = 2i``, ``s_i = 1.7 - 0.1 i``).
+* :func:`size_impact_groups` — Figs. 4/5 (five m-vectors).
+* :func:`speed_impact_groups` — Figs. 6/7 (``s = 1.5 .. 1.9``).
+* :func:`requirement_impact_groups` — Figs. 8/9 (``rbar = 0.8 .. 1.2``).
+* :func:`special_load_impact_groups` — Figs. 10/11 (``y = 0.20 .. 0.40``).
+* :func:`size_heterogeneity_groups` — Figs. 12/13 (five groups, total
+  blades fixed at 56, common speed 1.3).
+* :func:`speed_heterogeneity_groups` — Figs. 14/15 (five groups, all
+  sizes 8, total speed fixed at 9.1 per blade-column).
+
+Every factory applies the paper's standard preload
+``lambda''_i = y * m_i / xbar_i`` (special tasks contribute fraction
+``y`` to utilization, default ``y = 0.3``).
+"""
+
+from __future__ import annotations
+
+from ..core.exceptions import ParameterError
+from ..core.server import BladeServerGroup
+
+__all__ = [
+    "example_group",
+    "paper_sizes",
+    "paper_speeds",
+    "size_impact_groups",
+    "speed_impact_groups",
+    "requirement_impact_groups",
+    "special_load_impact_groups",
+    "size_heterogeneity_groups",
+    "speed_heterogeneity_groups",
+]
+
+#: Number of servers in every paper configuration.
+N_SERVERS = 7
+
+#: Size vectors of the five groups in Figs. 4/5 (total blades 49..63).
+SIZE_IMPACT_VECTORS: tuple[tuple[int, ...], ...] = (
+    (1, 3, 5, 7, 9, 11, 13),
+    (1, 3, 5, 8, 10, 12, 14),
+    (2, 4, 6, 8, 10, 12, 14),
+    (3, 5, 7, 8, 10, 12, 14),
+    (3, 5, 7, 9, 11, 13, 15),
+)
+
+#: Size vectors of the five groups in Figs. 12/13 (all sum to 56),
+#: ordered from most to least heterogeneous.
+SIZE_HETEROGENEITY_VECTORS: tuple[tuple[int, ...], ...] = (
+    (1, 2, 2, 8, 14, 14, 15),
+    (2, 4, 6, 8, 10, 12, 14),
+    (4, 6, 6, 8, 10, 10, 12),
+    (6, 6, 8, 8, 8, 10, 10),
+    (8, 8, 8, 8, 8, 8, 8),
+)
+
+#: Speed vectors of the five groups in Figs. 14/15 (all sum to 9.1),
+#: ordered from most to least heterogeneous.
+SPEED_HETEROGENEITY_VECTORS: tuple[tuple[float, ...], ...] = (
+    (0.1, 0.5, 0.9, 1.3, 1.7, 2.1, 2.5),
+    (0.4, 0.7, 1.0, 1.3, 1.6, 1.9, 2.2),
+    (0.7, 0.9, 1.1, 1.3, 1.5, 1.7, 1.9),
+    (1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6),
+    (1.3, 1.3, 1.3, 1.3, 1.3, 1.3, 1.3),
+)
+
+
+def paper_sizes() -> list[int]:
+    """The default size vector ``m_i = 2i`` of Examples 1/2."""
+    return [2 * i for i in range(1, N_SERVERS + 1)]
+
+
+def paper_speeds(s: float = 1.7) -> list[float]:
+    """The default speed vector ``s_i = s - 0.1 i`` (default ``s = 1.7``).
+
+    Speeds must stay positive, which bounds ``s > 0.1 * n``.
+    """
+    speeds = [s - 0.1 * i for i in range(1, N_SERVERS + 1)]
+    if min(speeds) <= 0.0:
+        raise ParameterError(
+            f"speed offset s={s} gives a non-positive blade speed"
+        )
+    return speeds
+
+
+def example_group(
+    special_fraction: float = 0.3, rbar: float = 1.0
+) -> BladeServerGroup:
+    """The Examples 1/2 system: ``m_i = 2i``, ``s_i = 1.7 - 0.1 i``."""
+    return BladeServerGroup.with_special_fraction(
+        paper_sizes(), paper_speeds(), fraction=special_fraction, rbar=rbar
+    )
+
+
+def size_impact_groups(
+    special_fraction: float = 0.3, rbar: float = 1.0
+) -> list[BladeServerGroup]:
+    """The five server groups of Figs. 4/5 (varying size vectors)."""
+    return [
+        BladeServerGroup.with_special_fraction(
+            sizes, paper_speeds(), fraction=special_fraction, rbar=rbar
+        )
+        for sizes in SIZE_IMPACT_VECTORS
+    ]
+
+
+def speed_impact_groups(
+    special_fraction: float = 0.3, rbar: float = 1.0
+) -> list[BladeServerGroup]:
+    """The five server groups of Figs. 6/7 (``s = 1.5, ..., 1.9``)."""
+    return [
+        BladeServerGroup.with_special_fraction(
+            paper_sizes(), paper_speeds(s), fraction=special_fraction, rbar=rbar
+        )
+        for s in (1.5, 1.6, 1.7, 1.8, 1.9)
+    ]
+
+
+def requirement_impact_groups(
+    special_fraction: float = 0.3,
+) -> list[BladeServerGroup]:
+    """The five server groups of Figs. 8/9 (``rbar = 0.8, ..., 1.2``)."""
+    return [
+        BladeServerGroup.with_special_fraction(
+            paper_sizes(), paper_speeds(), fraction=special_fraction, rbar=rbar
+        )
+        for rbar in (0.8, 0.9, 1.0, 1.1, 1.2)
+    ]
+
+
+def special_load_impact_groups(rbar: float = 1.0) -> list[BladeServerGroup]:
+    """The five server groups of Figs. 10/11 (``y = 0.20, ..., 0.40``)."""
+    return [
+        BladeServerGroup.with_special_fraction(
+            paper_sizes(), paper_speeds(), fraction=y, rbar=rbar
+        )
+        for y in (0.20, 0.25, 0.30, 0.35, 0.40)
+    ]
+
+
+def size_heterogeneity_groups(
+    special_fraction: float = 0.3, rbar: float = 1.0, speed: float = 1.3
+) -> list[BladeServerGroup]:
+    """The five groups of Figs. 12/13: fixed total blades, varying spread.
+
+    All groups have 56 blades of speed 1.3, so identical aggregate
+    capacity and identical total special load; only the *distribution*
+    of blades across chassis differs.
+    """
+    return [
+        BladeServerGroup.with_special_fraction(
+            sizes,
+            [speed] * N_SERVERS,
+            fraction=special_fraction,
+            rbar=rbar,
+        )
+        for sizes in SIZE_HETEROGENEITY_VECTORS
+    ]
+
+
+def speed_heterogeneity_groups(
+    special_fraction: float = 0.3, rbar: float = 1.0, size: int = 8
+) -> list[BladeServerGroup]:
+    """The five groups of Figs. 14/15: fixed total speed, varying spread.
+
+    All groups have seven 8-blade servers with speeds summing to 9.1
+    (aggregate capacity ``8 * 9.1 = 72.8``); only the speed spread
+    differs.
+    """
+    return [
+        BladeServerGroup.with_special_fraction(
+            [size] * N_SERVERS,
+            speeds,
+            fraction=special_fraction,
+            rbar=rbar,
+        )
+        for speeds in SPEED_HETEROGENEITY_VECTORS
+    ]

@@ -1,0 +1,130 @@
+"""Heterogeneity measurement and controlled-heterogeneity generators.
+
+The paper's Figs. 12–15 vary the *spread* of sizes/speeds while holding
+aggregate capacity fixed, and observe that more heterogeneity slightly
+*reduces* the optimal ``T'``.  This module provides:
+
+* the coefficient-of-variation measures used to order the paper's five
+  groups (and to verify the factories really are monotone in spread);
+* generators that synthesize a group of *any* size at a target
+  size- or speed-heterogeneity while preserving total capacity, used by
+  the extension benchmarks to trace the heterogeneity→T' curve finely
+  rather than at the paper's five points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.server import BladeServerGroup
+
+__all__ = [
+    "coefficient_of_variation",
+    "size_cv",
+    "speed_cv",
+    "scaled_size_group",
+    "scaled_speed_group",
+]
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Population coefficient of variation ``std / mean`` of a vector."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ParameterError("coefficient_of_variation of an empty vector")
+    mean = float(v.mean())
+    if mean == 0.0:
+        raise ParameterError("coefficient_of_variation undefined for zero mean")
+    return float(v.std()) / mean
+
+
+def size_cv(group: BladeServerGroup) -> float:
+    """CV of the group's size vector — the Figs. 12/13 ordering key."""
+    return coefficient_of_variation(group.sizes)
+
+
+def speed_cv(group: BladeServerGroup) -> float:
+    """CV of the group's speed vector — the Figs. 14/15 ordering key."""
+    return coefficient_of_variation(group.speeds)
+
+
+def scaled_size_group(
+    n: int,
+    total_blades: int,
+    spread: float,
+    speed: float = 1.3,
+    special_fraction: float = 0.3,
+    rbar: float = 1.0,
+) -> BladeServerGroup:
+    """A group with linearly spread sizes at fixed total blade count.
+
+    Sizes follow ``m_i = round(mean + spread * mean * t_i)`` where the
+    ``t_i`` are centered ramp weights in ``[-1, 1]``; rounding residue
+    is absorbed one blade at a time (largest servers first) so the
+    total is exactly ``total_blades``.  ``spread = 0`` is homogeneous;
+    ``spread = 1`` puts the smallest server near zero (it is clamped to
+    one blade).
+
+    Extends the paper's five hand-picked vectors to a continuous knob.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if total_blades < n:
+        raise ParameterError(
+            f"total_blades must be >= n (one blade each), got {total_blades}"
+        )
+    if not (0.0 <= spread <= 1.0):
+        raise ParameterError(f"spread must be in [0, 1], got {spread}")
+    mean = total_blades / n
+    ramp = np.linspace(-1.0, 1.0, n) if n > 1 else np.zeros(1)
+    raw = mean + spread * mean * ramp
+    sizes = np.maximum(np.round(raw).astype(int), 1)
+    # Absorb the rounding residue while keeping every size >= 1.
+    diff = total_blades - int(sizes.sum())
+    order = np.argsort(-sizes, kind="stable")
+    idx = 0
+    while diff != 0:
+        j = order[idx % n]
+        step = 1 if diff > 0 else -1
+        if sizes[j] + step >= 1:
+            sizes[j] += step
+            diff -= step
+        idx += 1
+        if idx > 10 * n * (abs(diff) + 1):  # pragma: no cover - defensive
+            raise ParameterError("could not balance sizes to the target total")
+    return BladeServerGroup.with_special_fraction(
+        sizes.tolist(), [speed] * n, fraction=special_fraction, rbar=rbar
+    )
+
+
+def scaled_speed_group(
+    n: int,
+    total_speed: float,
+    spread: float,
+    size: int = 8,
+    special_fraction: float = 0.3,
+    rbar: float = 1.0,
+) -> BladeServerGroup:
+    """A group with linearly spread speeds at fixed total speed.
+
+    Speeds follow ``s_i = mean (1 + spread * t_i)`` with centered ramp
+    weights ``t_i`` in ``[-1, 1]``, so the sum is exactly
+    ``total_speed`` for every spread; ``spread`` must leave the slowest
+    blade strictly positive.
+    """
+    if n < 1:
+        raise ParameterError(f"n must be >= 1, got {n}")
+    if not (math.isfinite(total_speed) and total_speed > 0.0):
+        raise ParameterError(f"total_speed must be > 0, got {total_speed}")
+    if not (0.0 <= spread < 1.0):
+        raise ParameterError(f"spread must be in [0, 1), got {spread}")
+    mean = total_speed / n
+    ramp = np.linspace(-1.0, 1.0, n) if n > 1 else np.zeros(1)
+    speeds = mean * (1.0 + spread * ramp)
+    return BladeServerGroup.with_special_fraction(
+        [size] * n, speeds.tolist(), fraction=special_fraction, rbar=rbar
+    )

@@ -1,0 +1,85 @@
+"""Canonical constants of the paper's numerical examples.
+
+Example 1 (Table 1) and Example 2 (Table 2) share one system — the
+:func:`~repro.workloads.groups.example_group` — evaluated at
+``lambda' = 0.5 * lambda'_max = 23.52``.  The expected outputs below
+are transcribed digit-for-digit from the published tables and used as
+regression anchors by the test suite and the table benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..core.response import Discipline
+from ..core.server import BladeServerGroup
+from .groups import example_group
+
+__all__ = [
+    "EXAMPLE_TOTAL_RATE",
+    "TABLE1_T_PRIME",
+    "TABLE2_T_PRIME",
+    "TABLE1_RATES",
+    "TABLE2_RATES",
+    "TABLE1_UTILIZATIONS",
+    "TABLE2_UTILIZATIONS",
+    "example_instance",
+]
+
+#: ``lambda' = 0.5 lambda'_max`` for the Examples 1/2 system.
+EXAMPLE_TOTAL_RATE = 23.52
+
+#: Published minimized mean response time, Example 1 (no priority).
+TABLE1_T_PRIME = 0.8964703
+
+#: Published minimized mean response time, Example 2 (priority).
+TABLE2_T_PRIME = 0.9209392
+
+#: Published optimal generic rates ``lambda'_i``, Table 1.
+TABLE1_RATES = (
+    0.6652046,
+    1.8802882,
+    2.9973639,
+    3.9121948,
+    4.5646028,
+    4.8769307,
+    4.6234149,
+)
+
+#: Published optimal generic rates ``lambda'_i``, Table 2.
+TABLE2_RATES = (
+    0.5908113,
+    1.7714948,
+    2.8813939,
+    3.8136848,
+    4.5164617,
+    4.9419622,
+    5.0041912,
+)
+
+#: Published server utilizations ``rho_i``, Table 1.
+TABLE1_UTILIZATIONS = (
+    0.5078764,
+    0.6133814,
+    0.6568290,
+    0.6761726,
+    0.6803836,
+    0.6694644,
+    0.6302439,
+)
+
+#: Published server utilizations ``rho_i``, Table 2.
+TABLE2_UTILIZATIONS = (
+    0.4846285,
+    0.5952491,
+    0.6430231,
+    0.6667005,
+    0.6763718,
+    0.6743911,
+    0.6574422,
+)
+
+
+def example_instance(
+    discipline: Discipline | str = Discipline.FCFS,
+) -> tuple[BladeServerGroup, float, Discipline]:
+    """The (group, total rate, discipline) triple of Examples 1/2."""
+    return example_group(), EXAMPLE_TOTAL_RATE, Discipline.coerce(discipline)

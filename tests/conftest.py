@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BladeServerGroup
+from repro.workloads import example_group
+
+
+@pytest.fixture(scope="session")
+def paper_group() -> BladeServerGroup:
+    """The Examples 1/2 seven-server system (m_i = 2i, s_i = 1.7 - 0.1i)."""
+    return example_group()
+
+
+@pytest.fixture(scope="session")
+def small_group() -> BladeServerGroup:
+    """A three-server group small enough for fast exhaustive checks."""
+    return BladeServerGroup.from_arrays(
+        sizes=[2, 3, 4],
+        speeds=[1.5, 1.2, 1.0],
+        special_rates=[0.6, 0.9, 1.0],
+        rbar=1.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def single_blade_group() -> BladeServerGroup:
+    """An all-M/M/1 group for the closed-form theorems."""
+    return BladeServerGroup.with_special_fraction(
+        sizes=[1, 1, 1, 1],
+        speeds=[1.6, 1.3, 1.0, 0.7],
+        fraction=0.25,
+        rbar=1.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def unloaded_group() -> BladeServerGroup:
+    """A group with no special tasks at all."""
+    return BladeServerGroup.from_arrays(
+        sizes=[2, 4, 8],
+        speeds=[2.0, 1.5, 1.0],
+        rbar=1.0,
+    )

@@ -1,0 +1,152 @@
+"""Unit tests for repro.analysis (saturation, figures, comparison)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    analyze_saturation,
+    build_figure,
+    compare_policies,
+    headroom,
+)
+from repro.analysis.figures import FigureSeries
+from repro.core.exceptions import InfeasibleError, ParameterError
+from repro.core.response import Discipline
+from repro.core.server import BladeServerGroup
+from repro.workloads import size_impact_groups
+
+
+class TestSaturation:
+    def test_paper_group_report(self, paper_group):
+        rep = analyze_saturation(paper_group)
+        assert rep.total == pytest.approx(47.04)
+        assert np.allclose(rep.per_server, 0.7 * paper_group.sizes * paper_group.speeds)
+        # Levers: one extra blade on S_i buys s_i/rbar extra capacity.
+        assert np.allclose(rep.d_per_blade, paper_group.speeds)
+        assert np.allclose(rep.d_per_speed_unit, paper_group.sizes)
+        assert rep.d_per_rbar == pytest.approx(-67.2)
+        assert np.allclose(rep.d_per_special, -1.0)
+
+    def test_rbar_lever_consistent_with_recomputation(self, paper_group):
+        # Finite-difference check of d lambda'_max / d rbar, holding the
+        # special *rates* fixed (they are inputs, not functions of rbar).
+        from repro.core.server import BladeServerGroup
+
+        h = 1e-6
+
+        def cap(rbar):
+            g = BladeServerGroup.from_arrays(
+                paper_group.sizes,
+                paper_group.speeds,
+                paper_group.special_rates,
+                rbar=rbar,
+            )
+            return g.max_generic_rate
+
+        fd = (cap(1.0 + h) - cap(1.0 - h)) / (2 * h)
+        rep = analyze_saturation(paper_group)
+        assert rep.d_per_rbar == pytest.approx(fd, rel=1e-5)
+
+    def test_headroom(self, paper_group):
+        assert headroom(paper_group, 23.52) == pytest.approx(0.5)
+        with pytest.raises(ParameterError):
+            headroom(paper_group, paper_group.max_generic_rate)
+        with pytest.raises(ParameterError):
+            headroom(paper_group, -1.0)
+
+
+class TestBuildFigure:
+    def test_basic_shape(self):
+        groups = size_impact_groups()[:2]
+        fig = build_figure(
+            "figX", groups, ["a", "b"], "fcfs", points=4
+        )
+        assert fig.values.shape == (2, 4)
+        assert fig.discipline is Discipline.FCFS
+        assert np.all(np.isfinite(fig.values))
+
+    def test_curves_increasing_in_lambda(self):
+        groups = size_impact_groups()[:1]
+        fig = build_figure("figX", groups, ["a"], "fcfs", points=6)
+        assert np.all(np.diff(fig.values[0]) > 0)
+
+    def test_curve_lookup(self):
+        groups = size_impact_groups()[:2]
+        fig = build_figure("figX", groups, ["a", "b"], "fcfs", points=3)
+        assert np.array_equal(fig.curve("b"), fig.values[1])
+        with pytest.raises(ParameterError):
+            fig.curve("zzz")
+
+    def test_render(self):
+        groups = size_impact_groups()[:2]
+        fig = build_figure("figX", groups, ["g1", "g2"], "priority", points=3)
+        text = fig.render()
+        assert "figX" in text and "g1" in text and "priority" in text
+        assert text.count("\n") == 4  # title + header + 3 grid rows
+
+    def test_explicit_rates(self):
+        groups = size_impact_groups()[:1]
+        rates = np.array([5.0, 10.0])
+        fig = build_figure("figX", groups, ["a"], "fcfs", rates=rates)
+        assert np.array_equal(fig.rates, rates)
+
+    def test_label_mismatch(self):
+        with pytest.raises(ParameterError):
+            build_figure("figX", size_impact_groups()[:2], ["only-one"], "fcfs")
+
+    def test_series_shape_validation(self):
+        with pytest.raises(ParameterError):
+            FigureSeries(
+                figure_id="x",
+                discipline=Discipline.FCFS,
+                rates=np.array([1.0, 2.0]),
+                labels=("a",),
+                values=np.zeros((2, 2)),
+            )
+
+
+class TestComparePolicies:
+    def test_optimal_always_best(self, paper_group):
+        comp = compare_policies(paper_group, 30.0, "fcfs")
+        assert comp.optimal.degradation == pytest.approx(1.0)
+        for o in comp.outcomes:
+            if o.feasible:
+                assert o.degradation >= 1.0 - 1e-12
+
+    def test_infeasible_heuristics_reported(self, paper_group):
+        # Near saturation equal-split and fastest-first must break.
+        lam = 0.97 * paper_group.max_generic_rate
+        comp = compare_policies(paper_group, lam, "fcfs")
+        by_name = {o.policy: o for o in comp.outcomes}
+        assert not by_name["equal-split"].feasible
+        assert by_name["equal-split"].degradation == float("inf")
+        assert by_name["optimal"].feasible
+
+    def test_subset_of_policies(self, paper_group):
+        comp = compare_policies(
+            paper_group, 20.0, "fcfs", policies=("spare-proportional",)
+        )
+        names = [o.policy for o in comp.outcomes]
+        assert names == ["optimal", "spare-proportional"]
+
+    def test_render(self, paper_group):
+        text = compare_policies(paper_group, 20.0, "priority").render()
+        assert "optimal" in text and "x optimal" in text
+
+    def test_totally_infeasible_instance(self, paper_group):
+        with pytest.raises(InfeasibleError):
+            compare_policies(paper_group, paper_group.max_generic_rate * 1.1)
+
+    def test_gap_grows_with_load(self, paper_group):
+        # The optimality gap of equal-split widens as load grows.
+        gaps = []
+        for frac in (0.3, 0.6):
+            comp = compare_policies(
+                paper_group,
+                frac * paper_group.max_generic_rate,
+                policies=("equal-split",),
+            )
+            gaps.append(comp.outcomes[1].degradation)
+        assert gaps[1] > gaps[0]

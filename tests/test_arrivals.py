@@ -1,0 +1,178 @@
+"""Tests for arrival processes and the RTB dispatch policy extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ParameterError
+from repro.core.server import BladeServerGroup
+from repro.dispatch import get_policy
+from repro.sim.arrivals import (
+    HyperexponentialArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.sim.engine import GroupSimulation, SimulationConfig, simulate_group
+
+
+RNG = np.random.default_rng(17)
+
+
+def mean_rate(process, n=60_000):
+    total = sum(process.next_interarrival(RNG) for _ in range(n))
+    return n / total
+
+
+class TestPoissonArrivals:
+    def test_rate(self):
+        assert mean_rate(PoissonArrivals(2.5)) == pytest.approx(2.5, rel=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PoissonArrivals(0.0)
+
+
+class TestMMPPArrivals:
+    def test_long_run_rate_pinned(self):
+        p = MMPPArrivals(2.0, burstiness=6.0, mean_sojourn=5.0)
+        assert mean_rate(p) == pytest.approx(2.0, rel=0.05)
+
+    def test_state_rates(self):
+        p = MMPPArrivals(3.0, burstiness=5.0)
+        calm, burst = p.state_rates
+        assert burst == pytest.approx(5.0 * calm)
+        assert 0.5 * (calm + burst) == pytest.approx(3.0)
+
+    def test_burstier_than_poisson(self):
+        # Index of dispersion of counts > 1: variance of arrivals in
+        # fixed windows exceeds the mean.
+        p = MMPPArrivals(2.0, burstiness=8.0, mean_sojourn=20.0)
+        window, t, counts, c = 10.0, 0.0, [], 0
+        edge = window
+        for _ in range(200_000):
+            t += p.next_interarrival(RNG)
+            while t > edge:
+                counts.append(c)
+                c = 0
+                edge += window
+            c += 1
+        counts = np.array(counts[10:])
+        idc = counts.var() / counts.mean()
+        assert idc > 2.0
+
+    def test_reset(self):
+        p = MMPPArrivals(1.0)
+        p.next_interarrival(RNG)
+        p.reset()
+        assert p._state_left == 0.0 and not p._in_burst
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MMPPArrivals(1.0, burstiness=1.0)
+        with pytest.raises(ParameterError):
+            MMPPArrivals(1.0, mean_sojourn=0.0)
+
+
+class TestHyperexponentialArrivals:
+    def test_rate_and_scv(self):
+        p = HyperexponentialArrivals(2.0, scv=4.0)
+        gaps = np.array([p.next_interarrival(RNG) for _ in range(120_000)])
+        assert 1.0 / gaps.mean() == pytest.approx(2.0, rel=0.03)
+        assert gaps.var() / gaps.mean() ** 2 == pytest.approx(4.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HyperexponentialArrivals(1.0, scv=0.5)
+
+
+class TestEngineIntegration:
+    def group(self):
+        return BladeServerGroup.from_arrays([2, 4], [1.2, 1.0])
+
+    def test_rate_mismatch_rejected(self):
+        g = self.group()
+        config = SimulationConfig(
+            total_generic_rate=2.0, fractions=(0.5, 0.5), horizon=100.0, warmup=0.0
+        )
+        with pytest.raises(ParameterError):
+            GroupSimulation(g, config, arrivals=PoissonArrivals(3.0))
+
+    def test_bursty_arrivals_degrade_response(self):
+        g = self.group()
+        lam = 0.75 * g.max_generic_rate
+        config = SimulationConfig(
+            total_generic_rate=lam,
+            fractions=(0.4, 0.6),
+            horizon=8_000.0,
+            warmup=800.0,
+            seed=6,
+        )
+        base = GroupSimulation(g, config).run()
+        bursty = GroupSimulation(
+            g,
+            config,
+            arrivals=MMPPArrivals(lam, burstiness=8.0, mean_sojourn=20.0),
+        ).run()
+        assert bursty.generic_response_time > base.generic_response_time
+
+    def test_poisson_process_matches_default(self):
+        # Explicit PoissonArrivals is distribution-equal to the default,
+        # though not sample-path equal (different call pattern), so
+        # compare statistically.
+        g = self.group()
+        lam = 2.0
+        a = simulate_group(g, lam, [0.5, 0.5], horizon=6_000, warmup=600, seed=8)
+        config = SimulationConfig(
+            total_generic_rate=lam,
+            fractions=(0.5, 0.5),
+            horizon=6_000.0,
+            warmup=600.0,
+            seed=8,
+        )
+        b = GroupSimulation(g, config, arrivals=PoissonArrivals(lam)).run()
+        assert b.generic_response_time == pytest.approx(
+            a.generic_response_time, rel=0.05
+        )
+
+
+class TestResponseTimeBalancingPolicy:
+    def test_equalizes_response_times(self, paper_group):
+        res = get_policy("response-time-balancing").distribute(
+            paper_group, 23.52
+        )
+        loaded = res.generic_rates > 1e-9
+        ts = res.per_server_response_times[loaded]
+        assert float(ts.max() - ts.min()) < 1e-8
+
+    def test_feasible_near_saturation(self, paper_group):
+        lam = 0.99 * paper_group.max_generic_rate
+        res = get_policy("response-time-balancing").distribute(paper_group, lam)
+        assert np.all(res.utilizations < 1.0)
+        assert res.total_rate == pytest.approx(lam, rel=1e-9)
+
+    def test_suboptimal_but_close(self, paper_group):
+        lam = 0.6 * paper_group.max_generic_rate
+        rtb = get_policy("response-time-balancing").distribute(paper_group, lam)
+        opt = get_policy("optimal").distribute(paper_group, lam)
+        assert rtb.mean_response_time >= opt.mean_response_time
+        assert rtb.mean_response_time < 1.15 * opt.mean_response_time
+
+    def test_symmetric_group_is_optimal(self):
+        g = BladeServerGroup.with_special_fraction(
+            [4, 4, 4], [1.0, 1.0, 1.0], fraction=0.3
+        )
+        lam = 0.5 * g.max_generic_rate
+        rtb = get_policy("response-time-balancing").distribute(g, lam)
+        opt = get_policy("optimal").distribute(g, lam)
+        assert rtb.mean_response_time == pytest.approx(
+            opt.mean_response_time, rel=1e-6
+        )
+
+    def test_priority_discipline(self, paper_group):
+        res = get_policy("response-time-balancing").distribute(
+            paper_group, 23.52, "priority"
+        )
+        loaded = res.generic_rates > 1e-9
+        ts = res.per_server_response_times[loaded]
+        assert float(ts.max() - ts.min()) < 1e-8

@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.closed_form (Theorems 1 and 3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.closed_form import (
+    solve_closed_form,
+    solve_closed_form_fcfs,
+    solve_closed_form_priority,
+)
+from repro.core.exceptions import InfeasibleError, ParameterError
+from repro.core.server import BladeServerGroup
+
+
+class TestTheorem1:
+    def test_phi_matches_published_formula(self, single_blade_group):
+        g = single_blade_group
+        lam = 0.5 * g.max_generic_rate
+        res = solve_closed_form_fcfs(g, lam)
+        # Recompute phi straight from the theorem statement.
+        xb = g.xbars
+        r2 = g.special_utilizations
+        num = (1.0 / math.sqrt(lam)) * float(np.sqrt((1.0 - r2) / xb).sum())
+        den = float(((1.0 - r2) / xb).sum()) - lam
+        assert res.phi == pytest.approx((num / den) ** 2, rel=1e-12)
+
+    def test_rates_match_published_formula(self, single_blade_group):
+        g = single_blade_group
+        lam = 0.5 * g.max_generic_rate
+        res = solve_closed_form_fcfs(g, lam)
+        xb = g.xbars
+        r2 = g.special_utilizations
+        expected = (1.0 - r2 - np.sqrt(xb * (1.0 - r2) / (lam * res.phi))) / xb
+        assert np.allclose(res.generic_rates, expected, rtol=1e-12)
+
+    def test_budget_exact(self, single_blade_group):
+        lam = 0.6 * single_blade_group.max_generic_rate
+        res = solve_closed_form_fcfs(single_blade_group, lam)
+        assert res.total_rate == pytest.approx(lam, rel=1e-12)
+
+    def test_homogeneous_special_case(self):
+        # Identical M/M/1 servers: equal split, T' = xbar/(1-rho).
+        g = BladeServerGroup.with_special_fraction(
+            [1, 1, 1], [1.0, 1.0, 1.0], fraction=0.2
+        )
+        lam = 0.5 * g.max_generic_rate
+        res = solve_closed_form_fcfs(g, lam)
+        assert np.allclose(res.generic_rates, lam / 3.0, rtol=1e-10)
+        rho = res.utilizations[0]
+        assert res.mean_response_time == pytest.approx(
+            1.0 / (1.0 - rho), rel=1e-10
+        )
+
+
+class TestTheorem3:
+    def test_budget_equation_root(self, single_blade_group):
+        g = single_blade_group
+        lam = 0.5 * g.max_generic_rate
+        res = solve_closed_form_priority(g, lam)
+        # Plug phi back into the theorem's budget equation.
+        xb = g.xbars
+        r2 = g.special_utilizations
+        inner = lam * res.phi / xb + r2 / (1.0 - r2)
+        rates = (1.0 - r2 - np.sqrt(1.0 / inner)) / xb
+        assert float(rates.sum()) == pytest.approx(lam, rel=1e-9)
+        assert np.allclose(res.generic_rates, rates, rtol=1e-9)
+
+    def test_worse_than_fcfs(self, single_blade_group):
+        lam = 0.5 * single_blade_group.max_generic_rate
+        t_f = solve_closed_form_fcfs(single_blade_group, lam).mean_response_time
+        t_p = solve_closed_form_priority(
+            single_blade_group, lam
+        ).mean_response_time
+        assert t_p > t_f
+
+    def test_no_specials_reduces_to_theorem1(self):
+        g = BladeServerGroup.from_arrays([1, 1], [1.5, 1.0])
+        lam = 0.5 * g.max_generic_rate
+        a = solve_closed_form_fcfs(g, lam)
+        b = solve_closed_form_priority(g, lam)
+        assert a.mean_response_time == pytest.approx(
+            b.mean_response_time, rel=1e-9
+        )
+        assert np.allclose(a.generic_rates, b.generic_rates, atol=1e-8)
+
+
+class TestActiveSet:
+    """Low-load instances where the interior formula goes negative."""
+
+    def make_group(self):
+        # Server 1 fast and lightly loaded; server 3 slow and heavily
+        # preloaded -> at tiny lambda' it must receive nothing.
+        return BladeServerGroup.from_arrays(
+            [1, 1, 1], [2.0, 1.0, 0.4], [0.2, 0.3, 0.2]
+        )
+
+    @pytest.mark.parametrize("disc", ["fcfs", "priority"])
+    def test_parks_slow_server_at_zero(self, disc):
+        g = self.make_group()
+        res = solve_closed_form(g, 0.05, disc)
+        assert res.generic_rates[2] == 0.0
+        assert res.generic_rates[0] > 0.0
+        assert res.total_rate == pytest.approx(0.05, rel=1e-9)
+
+    @pytest.mark.parametrize("disc", ["fcfs", "priority"])
+    def test_all_rates_nonnegative_across_loads(self, disc):
+        g = self.make_group()
+        for frac in (0.01, 0.1, 0.3, 0.6, 0.9):
+            res = solve_closed_form(g, frac * g.max_generic_rate, disc)
+            assert np.all(res.generic_rates >= 0.0)
+            assert res.total_rate == pytest.approx(
+                frac * g.max_generic_rate, rel=1e-9
+            )
+
+
+class TestValidation:
+    def test_multi_blade_rejected(self, paper_group):
+        with pytest.raises(ParameterError):
+            solve_closed_form_fcfs(paper_group, 10.0)
+        with pytest.raises(ParameterError):
+            solve_closed_form_priority(paper_group, 10.0)
+
+    def test_infeasible_rejected(self, single_blade_group):
+        with pytest.raises(InfeasibleError):
+            solve_closed_form_fcfs(
+                single_blade_group, single_blade_group.max_generic_rate
+            )
+
+    def test_dispatcher(self, single_blade_group):
+        lam = 1.0
+        assert (
+            solve_closed_form(single_blade_group, lam, "fcfs").method
+            == "closed-form-theorem1"
+        )
+        assert (
+            solve_closed_form(single_blade_group, lam, "priority").method
+            == "closed-form-theorem3"
+        )

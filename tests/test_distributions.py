@@ -1,0 +1,183 @@
+"""Unit tests for repro.core.distributions (waiting/response-time laws)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.distributions import (
+    ResponseTimeDistribution,
+    WaitingTimeDistribution,
+)
+from repro.core.erlang import erlang_c
+from repro.core.exceptions import ParameterError, SaturationError
+from repro.core.mmm import MMmQueue
+
+CASES = [
+    (1, 1.0, 0.5),
+    (2, 0.625, 0.6),
+    (6, 0.7142857, 0.75),
+    (14, 1.0, 0.9),
+]
+
+
+class TestWaitingTimeDistribution:
+    @pytest.mark.parametrize("m,xbar,rho", CASES)
+    def test_mean_matches_mmm(self, m, xbar, rho):
+        lam = rho * m / xbar
+        wd = WaitingTimeDistribution(m, xbar, rho)
+        assert wd.mean == pytest.approx(
+            MMmQueue(m, xbar, lam).waiting_time, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("m,xbar,rho", CASES)
+    def test_atom_at_zero(self, m, xbar, rho):
+        wd = WaitingTimeDistribution(m, xbar, rho)
+        assert wd.sf(0.0) == pytest.approx(erlang_c(m, rho), rel=1e-12)
+        assert wd.cdf(0.0) == pytest.approx(1.0 - wd.prob_wait, rel=1e-12)
+
+    @pytest.mark.parametrize("m,xbar,rho", CASES)
+    def test_quantile_inverts_cdf(self, m, xbar, rho):
+        wd = WaitingTimeDistribution(m, xbar, rho)
+        for p in (0.5, 0.9, 0.99):
+            t = wd.quantile(p)
+            if t == 0.0:
+                assert wd.cdf(0.0) >= p
+            else:
+                assert wd.cdf(t) == pytest.approx(p, abs=1e-9)
+
+    def test_quantile_in_atom(self):
+        # Low rho: even the median is zero wait.
+        wd = WaitingTimeDistribution(8, 1.0, 0.3)
+        assert wd.prob_wait < 0.1
+        assert wd.quantile(0.5) == 0.0
+
+    def test_tail_decreasing(self):
+        wd = WaitingTimeDistribution(4, 1.0, 0.8)
+        ts = np.linspace(0, 10, 30)
+        sfs = [wd.sf(float(t)) for t in ts]
+        assert all(b <= a for a, b in zip(sfs, sfs[1:]))
+
+    def test_pdf_integrates_to_prob_wait(self):
+        # The continuous part has total mass P_q.
+        wd = WaitingTimeDistribution(3, 0.8, 0.7)
+        ts = np.linspace(0, 60, 200_001)
+        mass = np.trapezoid([wd.pdf(float(t)) for t in ts], ts)
+        assert mass == pytest.approx(wd.prob_wait, rel=1e-4)
+
+    def test_mean_via_tail_integral(self):
+        # E[W] = int_0^inf P(W > t) dt.
+        wd = WaitingTimeDistribution(5, 1.0, 0.85)
+        ts = np.linspace(0, 100, 200_001)
+        mean = np.trapezoid([wd.sf(float(t)) for t in ts], ts)
+        assert mean == pytest.approx(wd.mean, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(SaturationError):
+            WaitingTimeDistribution(2, 1.0, 1.0)
+        with pytest.raises(ParameterError):
+            WaitingTimeDistribution(2, 0.0, 0.5)
+        wd = WaitingTimeDistribution(2, 1.0, 0.5)
+        with pytest.raises(ParameterError):
+            wd.sf(-1.0)
+        with pytest.raises(ParameterError):
+            wd.quantile(1.0)
+
+
+class TestResponseTimeDistribution:
+    @pytest.mark.parametrize("m,xbar,rho", CASES)
+    def test_mean_matches_mmm(self, m, xbar, rho):
+        lam = rho * m / xbar
+        rd = ResponseTimeDistribution(m, xbar, rho)
+        assert rd.mean == pytest.approx(
+            MMmQueue(m, xbar, lam).response_time, rel=1e-12
+        )
+
+    @pytest.mark.parametrize("m,xbar,rho", CASES)
+    def test_sf_at_zero_is_one(self, m, xbar, rho):
+        rd = ResponseTimeDistribution(m, xbar, rho)
+        assert rd.sf(0.0) == pytest.approx(1.0, rel=1e-12)
+
+    @pytest.mark.parametrize("m,xbar,rho", CASES)
+    def test_quantile_inverts(self, m, xbar, rho):
+        rd = ResponseTimeDistribution(m, xbar, rho)
+        for p in (0.1, 0.5, 0.95, 0.999):
+            assert rd.cdf(rd.quantile(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_mm1_closed_form(self):
+        # M/M/1: T ~ Exp(mu(1-rho)) exactly.
+        rho, xbar = 0.7, 1.0
+        rd = ResponseTimeDistribution(1, xbar, rho)
+        rate = (1.0 - rho) / xbar
+        for t in (0.5, 2.0, 7.0):
+            assert rd.sf(t) == pytest.approx(math.exp(-rate * t), rel=1e-9)
+
+    def test_confluent_case(self):
+        # theta = mu requires m(1 - rho) = 1, e.g. m=2, rho=0.5.
+        rd = ResponseTimeDistribution(2, 1.0, 0.5)
+        # sf must be continuous with a nearby non-confluent instance.
+        near = ResponseTimeDistribution(2, 1.0, 0.5 + 1e-7)
+        for t in (0.1, 1.0, 4.0):
+            assert rd.sf(t) == pytest.approx(near.sf(t), rel=1e-4)
+        # pdf consistent with numeric derivative of cdf.
+        h = 1e-6
+        for t in (0.5, 2.0):
+            fd = (rd.cdf(t + h) - rd.cdf(t - h)) / (2 * h)
+            assert rd.pdf(t) == pytest.approx(fd, rel=1e-5)
+
+    def test_pdf_matches_cdf_derivative(self):
+        rd = ResponseTimeDistribution(4, 0.8, 0.75)
+        h = 1e-6
+        for t in (0.2, 1.0, 3.0):
+            fd = (rd.cdf(t + h) - rd.cdf(t - h)) / (2 * h)
+            assert rd.pdf(t) == pytest.approx(fd, rel=1e-5)
+
+    def test_percentiles_ordered(self):
+        rd = ResponseTimeDistribution(6, 1.0, 0.8)
+        qs = [rd.quantile(p) for p in (0.5, 0.9, 0.95, 0.99)]
+        assert qs == sorted(qs)
+        assert qs[0] > 0.0
+
+    def test_mean_via_tail_integral(self):
+        rd = ResponseTimeDistribution(3, 0.9, 0.8)
+        ts = np.linspace(0, 120, 200_001)
+        mean = np.trapezoid([rd.sf(float(t)) for t in ts], ts)
+        assert mean == pytest.approx(rd.mean, rel=1e-4)
+
+    def test_higher_load_stochastically_larger(self):
+        lo = ResponseTimeDistribution(4, 1.0, 0.5)
+        hi = ResponseTimeDistribution(4, 1.0, 0.9)
+        for t in (0.5, 1.0, 3.0, 8.0):
+            assert hi.sf(t) >= lo.sf(t)
+
+
+class TestAgainstSimulation:
+    def test_percentiles_match_simulated_quantiles(self):
+        """The closed-form response-time law must match event-level data."""
+        from repro.core.server import BladeServerGroup
+        from repro.sim.engine import GroupSimulation, SimulationConfig
+        from repro.sim.task import TaskClass
+
+        m, xbar, lam = 3, 1.0, 2.4  # rho = 0.8
+        group = BladeServerGroup.from_arrays([m], [1.0])
+        config = SimulationConfig(
+            total_generic_rate=lam,
+            fractions=(1.0,),
+            horizon=20_000.0,
+            warmup=2_000.0,
+            seed=5,
+        )
+        result = GroupSimulation(group, config, collect_tasks=True).run()
+        resp = np.array(
+            [
+                t.response_time
+                for t in result.task_log
+                if t.task_class is TaskClass.GENERIC
+            ]
+        )
+        rd = ResponseTimeDistribution(m, xbar, lam * xbar / m)
+        for p in (0.5, 0.9, 0.95):
+            emp = float(np.quantile(resp, p))
+            assert emp == pytest.approx(rd.quantile(p), rel=0.06)

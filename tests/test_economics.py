@@ -1,0 +1,125 @@
+"""Tests for admission control / profit optimization (repro.core.economics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.economics import (
+    AdmissionResult,
+    LinearDecayRevenue,
+    optimize_admission,
+    profit_rate,
+)
+from repro.core.exceptions import ParameterError
+from repro.core.server import BladeServerGroup
+
+
+@pytest.fixture(scope="module")
+def group():
+    return BladeServerGroup.with_special_fraction(
+        sizes=[2, 4, 6], speeds=[1.4, 1.2, 1.0], fraction=0.3
+    )
+
+
+def revenue():
+    # Full price below 1 s, zero at 4 s.
+    return LinearDecayRevenue(price=1.0, free_threshold=1.0, deadline=4.0)
+
+
+class TestLinearDecayRevenue:
+    def test_plateau_floor_and_slope(self):
+        r = revenue()
+        assert r.per_task(0.2) == 1.0
+        assert r.per_task(1.0) == 1.0
+        assert r.per_task(4.0) == 0.0
+        assert r.per_task(10.0) == 0.0
+        assert r.per_task(2.5) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(price=0.0, free_threshold=1.0, deadline=2.0),
+            dict(price=1.0, free_threshold=-1.0, deadline=2.0),
+            dict(price=1.0, free_threshold=2.0, deadline=2.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            LinearDecayRevenue(**kwargs)
+
+
+class TestProfitRate:
+    def test_zero_admission_pays_fixed_cost(self, group):
+        assert profit_rate(group, 0.0, revenue(), cost_per_time=2.0) == -2.0
+
+    def test_positive_at_moderate_load(self, group):
+        lam = 0.5 * group.max_generic_rate
+        p = profit_rate(group, lam, revenue(), cost_per_time=0.0)
+        assert p > 0.0
+
+    def test_collapses_near_saturation(self, group):
+        # Close to saturation T' blows past the deadline: revenue ~ 0.
+        lam = 0.9995 * group.max_generic_rate
+        p = profit_rate(group, lam, revenue(), cost_per_time=0.0)
+        assert p < 0.2 * group.max_generic_rate  # tiny vs. full-price bound
+
+    def test_negative_rate_rejected(self, group):
+        with pytest.raises(ParameterError):
+            profit_rate(group, -1.0, revenue(), 0.0)
+
+
+class TestOptimizeAdmission:
+    def test_interior_optimum(self, group):
+        res = optimize_admission(group, revenue())
+        assert isinstance(res, AdmissionResult)
+        assert 0.0 < res.admitted_rate < group.max_generic_rate
+        assert res.profit > 0.0
+        assert res.distribution is not None
+        assert 0.0 < res.load_fraction < 1.0
+
+    def test_beats_grid_of_alternatives(self, group):
+        res = optimize_admission(group, revenue())
+        for frac in (0.1, 0.3, 0.5, 0.7, 0.9, 0.99):
+            alt = profit_rate(
+                group, frac * group.max_generic_rate, revenue(), 0.0
+            )
+            assert res.profit >= alt - 1e-6
+
+    def test_higher_price_admits_weakly_more(self, group):
+        lo = optimize_admission(
+            group, LinearDecayRevenue(1.0, 0.5, 2.0)
+        ).admitted_rate
+        hi = optimize_admission(
+            group, LinearDecayRevenue(1.0, 1.5, 6.0)
+        ).admitted_rate
+        # A more tolerant SLA (longer deadline) supports more admission.
+        assert hi > lo
+
+    def test_hopeless_economics_admits_nothing(self, group):
+        # Deadline below the empty-system service time: every task earns 0.
+        starved = LinearDecayRevenue(
+            price=1.0, free_threshold=0.0, deadline=0.05
+        )
+        res = optimize_admission(group, starved, cost_per_time=1.0)
+        assert res.admitted_rate == 0.0
+        assert res.profit == -1.0
+        assert res.distribution is None
+
+    def test_fixed_cost_passthrough(self, group):
+        a = optimize_admission(group, revenue(), cost_per_time=0.0)
+        b = optimize_admission(group, revenue(), cost_per_time=1.5)
+        assert a.admitted_rate == pytest.approx(b.admitted_rate, rel=1e-6)
+        assert a.profit - b.profit == pytest.approx(1.5, rel=1e-6)
+
+    def test_validation(self, group):
+        with pytest.raises(ParameterError):
+            optimize_admission(group, revenue(), cost_per_time=-1.0)
+        with pytest.raises(ParameterError):
+            optimize_admission(group, revenue(), grid_points=2)
+
+    def test_priority_discipline_admits_less_or_equal_profit(self, group):
+        f = optimize_admission(group, revenue(), discipline="fcfs")
+        p = optimize_admission(group, revenue(), discipline="priority")
+        # Priority worsens generic response times, so the provider can
+        # never make *more* profit selling prioritized-against capacity.
+        assert p.profit <= f.profit + 1e-9

@@ -1,0 +1,207 @@
+"""Unit tests for repro.core.erlang (Erlang B/C, p0, pk, derivatives)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.erlang import (
+    dp_zero_drho,
+    erlang_b,
+    erlang_c,
+    log_p_zero,
+    p_k,
+    p_zero,
+    p_zero_direct,
+    prob_queueing,
+    prob_queueing_direct,
+)
+from repro.core.exceptions import ParameterError, SaturationError
+
+
+class TestErlangB:
+    def test_zero_load(self):
+        assert erlang_b(3, 0.0) == 0.0
+
+    def test_single_server_known_value(self):
+        # B(1, a) = a / (1 + a)
+        assert erlang_b(1, 1.0) == pytest.approx(0.5)
+        assert erlang_b(1, 3.0) == pytest.approx(0.75)
+
+    def test_two_servers_known_value(self):
+        # B(2, a) = a^2/2 / (1 + a + a^2/2); a=2 -> 2/5
+        assert erlang_b(2, 2.0) == pytest.approx(0.4)
+
+    def test_matches_direct_formula(self):
+        for m in (1, 2, 5, 10):
+            for a in (0.1, 0.5, 2.0, float(m)):
+                direct = (a**m / math.factorial(m)) / sum(
+                    a**k / math.factorial(k) for k in range(m + 1)
+                )
+                assert erlang_b(m, a) == pytest.approx(direct, rel=1e-12)
+
+    def test_monotone_in_load(self):
+        values = [erlang_b(4, a) for a in (0.5, 1.0, 2.0, 4.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_decreasing_in_servers(self):
+        values = [erlang_b(m, 3.0) for m in (1, 2, 4, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_large_m_stable(self):
+        # Would overflow with factorials; recurrence must stay finite.
+        b = erlang_b(2000, 1900.0)
+        assert 0.0 < b < 1.0
+
+    def test_invalid_m(self):
+        with pytest.raises(ParameterError):
+            erlang_b(0, 1.0)
+
+    def test_invalid_load(self):
+        with pytest.raises(ParameterError):
+            erlang_b(2, -1.0)
+        with pytest.raises(ParameterError):
+            erlang_b(2, math.nan)
+
+
+class TestErlangC:
+    def test_zero_utilization(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_single_server_equals_rho(self):
+        # For M/M/1 the queueing probability is rho itself.
+        for rho in (0.1, 0.5, 0.9):
+            assert erlang_c(1, rho) == pytest.approx(rho, rel=1e-12)
+
+    def test_matches_paper_literal(self):
+        for m in (1, 2, 6, 14):
+            for rho in (0.1, 0.5, 0.8, 0.95):
+                assert erlang_c(m, rho) == pytest.approx(
+                    prob_queueing_direct(m, rho), rel=1e-10
+                )
+
+    def test_alias(self):
+        assert prob_queueing(5, 0.6) == erlang_c(5, 0.6)
+
+    def test_monotone_in_rho(self):
+        values = [erlang_c(6, r) for r in (0.1, 0.3, 0.5, 0.7, 0.9, 0.99)]
+        assert values == sorted(values)
+
+    def test_approaches_one_near_saturation(self):
+        assert erlang_c(4, 0.99999) > 0.999
+
+    def test_more_servers_less_queueing_at_equal_rho(self):
+        # At fixed per-server utilization, pooling reduces queueing.
+        values = [erlang_c(m, 0.7) for m in (1, 2, 4, 8, 16)]
+        assert values == sorted(values, reverse=True)
+
+    def test_saturated_raises(self):
+        with pytest.raises(SaturationError):
+            erlang_c(3, 1.0)
+        with pytest.raises(SaturationError):
+            erlang_c(3, 1.5)
+
+    def test_large_m_stable(self):
+        c = erlang_c(5000, 0.999)
+        assert 0.0 < c < 1.0
+
+
+class TestPZero:
+    def test_empty_at_zero_load(self):
+        assert p_zero(3, 0.0) == 1.0
+
+    def test_single_server(self):
+        # M/M/1: p0 = 1 - rho.
+        for rho in (0.2, 0.5, 0.9):
+            assert p_zero(1, rho) == pytest.approx(1.0 - rho, rel=1e-12)
+
+    def test_matches_direct(self):
+        for m in (1, 2, 7, 14, 30):
+            for rho in (0.05, 0.3, 0.6, 0.9, 0.99):
+                assert p_zero(m, rho) == pytest.approx(
+                    p_zero_direct(m, rho), rel=1e-10
+                )
+
+    def test_matches_log_space(self):
+        for m in (1, 4, 16, 64):
+            for rho in (0.1, 0.5, 0.9):
+                assert math.log(p_zero(m, rho)) == pytest.approx(
+                    log_p_zero(m, rho), abs=1e-9
+                )
+
+    def test_decreasing_in_rho(self):
+        values = [p_zero(5, r) for r in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert values == sorted(values, reverse=True)
+
+    def test_in_unit_interval(self):
+        for m in (1, 3, 10, 100):
+            for rho in (0.01, 0.5, 0.99):
+                assert 0.0 < p_zero(m, rho) < 1.0
+
+    def test_large_m_no_overflow(self):
+        assert 0.0 <= p_zero(3000, 0.95) < 1.0
+
+    def test_saturated_raises(self):
+        with pytest.raises(SaturationError):
+            p_zero(2, 1.0)
+
+
+class TestPK:
+    def test_distribution_sums_to_one(self):
+        m, rho = 4, 0.7
+        # Head plus the geometric tail from k = m onward.
+        total = sum(p_k(m, rho, k) for k in range(m))
+        tail = p_k(m, rho, m) / (1.0 - rho)
+        assert total + tail == pytest.approx(1.0, rel=1e-10)
+
+    def test_branch_consistency_at_m(self):
+        # Both branch expressions must agree at k = m.
+        m, rho = 5, 0.6
+        p0 = p_zero(m, rho)
+        a = m * rho
+        low = p0 * a**m / math.factorial(m)
+        assert p_k(m, rho, m) == pytest.approx(low, rel=1e-12)
+
+    def test_k_zero_is_p_zero(self):
+        assert p_k(6, 0.5, 0) == pytest.approx(p_zero(6, 0.5), rel=1e-12)
+
+    def test_geometric_tail_ratio(self):
+        # For k >= m, p_{k+1}/p_k = rho.
+        m, rho = 3, 0.8
+        for k in (m, m + 1, m + 5):
+            assert p_k(m, rho, k + 1) / p_k(m, rho, k) == pytest.approx(
+                rho, rel=1e-10
+            )
+
+    def test_zero_load_degenerate(self):
+        assert p_k(3, 0.0, 0) == 1.0
+        assert p_k(3, 0.0, 2) == 0.0
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ParameterError):
+            p_k(3, 0.5, -1)
+
+
+class TestDPZeroDRho:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 8, 14])
+    @pytest.mark.parametrize("rho", [0.05, 0.2, 0.5, 0.75, 0.9])
+    def test_matches_finite_difference(self, m, rho):
+        h = 1e-7
+        fd = (p_zero(m, rho + h) - p_zero(m, rho - h)) / (2 * h)
+        assert dp_zero_drho(m, rho) == pytest.approx(fd, rel=1e-5)
+
+    def test_single_server_is_minus_one(self):
+        # p0 = 1 - rho for m = 1, so the derivative is exactly -1.
+        for rho in (0.0, 0.3, 0.9):
+            assert dp_zero_drho(1, rho) == pytest.approx(-1.0, rel=1e-12)
+
+    def test_always_negative(self):
+        for m in (1, 2, 6, 12):
+            for rho in (0.1, 0.5, 0.9):
+                assert dp_zero_drho(m, rho) < 0.0
+
+    def test_at_zero_rho_multi_server(self):
+        # d(p0^-1)/drho at 0 is m (from the k=1 term), so dp0 = -m.
+        for m in (2, 3, 7):
+            assert dp_zero_drho(m, 0.0) == pytest.approx(-m, rel=1e-12)

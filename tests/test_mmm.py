@@ -1,0 +1,161 @@
+"""Unit tests for repro.core.mmm (M/M/m steady-state metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ParameterError, SaturationError
+from repro.core.mmm import MMmQueue, mmm_mean_queue_length, mmm_response_time
+
+
+def q(m=4, xbar=1.0, lam=2.0) -> MMmQueue:
+    return MMmQueue(m, xbar, lam)
+
+
+class TestConstruction:
+    def test_basic(self):
+        station = q()
+        assert station.utilization == pytest.approx(0.5)
+        assert station.service_rate == pytest.approx(1.0)
+        assert station.capacity == pytest.approx(4.0)
+
+    def test_zero_arrivals_allowed(self):
+        station = q(lam=0.0)
+        assert station.utilization == 0.0
+        assert station.response_time == pytest.approx(station.xbar)
+
+    def test_saturation_rejected(self):
+        with pytest.raises(SaturationError):
+            MMmQueue(2, 1.0, 2.0)
+        with pytest.raises(SaturationError):
+            MMmQueue(2, 1.0, 3.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(m=0, xbar=1.0, arrival_rate=0.1),
+            dict(m=-1, xbar=1.0, arrival_rate=0.1),
+            dict(m=2, xbar=0.0, arrival_rate=0.1),
+            dict(m=2, xbar=-1.0, arrival_rate=0.1),
+            dict(m=2, xbar=1.0, arrival_rate=-0.1),
+            dict(m=2, xbar=float("nan"), arrival_rate=0.1),
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            MMmQueue(kwargs["m"], kwargs["xbar"], kwargs["arrival_rate"])
+
+    def test_bool_m_rejected(self):
+        with pytest.raises(ParameterError):
+            MMmQueue(True, 1.0, 0.1)
+
+    def test_frozen(self):
+        station = q()
+        with pytest.raises(AttributeError):
+            station.m = 5
+
+
+class TestMM1SpecialCase:
+    """For m = 1 every metric has a textbook closed form."""
+
+    @pytest.mark.parametrize("rho", [0.1, 0.5, 0.9])
+    def test_response_time(self, rho):
+        station = MMmQueue(1, 1.0, rho)
+        assert station.response_time == pytest.approx(1.0 / (1.0 - rho))
+
+    @pytest.mark.parametrize("rho", [0.1, 0.5, 0.9])
+    def test_mean_in_system(self, rho):
+        station = MMmQueue(1, 1.0, rho)
+        assert station.mean_in_system == pytest.approx(rho / (1.0 - rho))
+
+    @pytest.mark.parametrize("rho", [0.1, 0.5, 0.9])
+    def test_mean_in_queue(self, rho):
+        station = MMmQueue(1, 1.0, rho)
+        assert station.mean_in_queue == pytest.approx(rho * rho / (1.0 - rho))
+
+
+class TestIdentities:
+    """Little's law and the paper's algebraic identities."""
+
+    CASES = [
+        (1, 1.0, 0.5),
+        (2, 0.625, 1.6),
+        (6, 0.7142857, 5.0),
+        (14, 1.0, 8.8),
+        (10, 0.8333333, 8.1),
+    ]
+
+    @pytest.mark.parametrize("m,xbar,lam", CASES)
+    def test_little_law_system(self, m, xbar, lam):
+        s = MMmQueue(m, xbar, lam)
+        assert s.mean_in_system == pytest.approx(lam * s.response_time, rel=1e-10)
+
+    @pytest.mark.parametrize("m,xbar,lam", CASES)
+    def test_little_law_queue(self, m, xbar, lam):
+        s = MMmQueue(m, xbar, lam)
+        assert s.mean_in_queue == pytest.approx(lam * s.waiting_time, rel=1e-10)
+
+    @pytest.mark.parametrize("m,xbar,lam", CASES)
+    def test_response_is_service_plus_wait(self, m, xbar, lam):
+        s = MMmQueue(m, xbar, lam)
+        assert s.response_time == pytest.approx(s.xbar + s.waiting_time, rel=1e-12)
+
+    @pytest.mark.parametrize("m,xbar,lam", CASES)
+    def test_w_zero_decomposition(self, m, xbar, lam):
+        # W = W0 / (1 - rho) with W0 = Pq * W*.
+        s = MMmQueue(m, xbar, lam)
+        assert s.waiting_time == pytest.approx(
+            s.w_zero / (1.0 - s.utilization), rel=1e-12
+        )
+        assert s.w_zero == pytest.approx(s.prob_queueing * s.w_star, rel=1e-12)
+
+    @pytest.mark.parametrize("m,xbar,lam", CASES)
+    def test_mean_busy_blades_is_offered_load(self, m, xbar, lam):
+        s = MMmQueue(m, xbar, lam)
+        assert s.mean_busy_blades == pytest.approx(lam * xbar, rel=1e-12)
+
+    @pytest.mark.parametrize("m,xbar,lam", CASES)
+    def test_paper_nbar_formula(self, m, xbar, lam):
+        # N = m rho + rho/(1-rho) Pq (paper's derivation).
+        s = MMmQueue(m, xbar, lam)
+        rho = s.utilization
+        expected = m * rho + rho / (1.0 - rho) * s.prob_queueing
+        assert s.mean_in_system == pytest.approx(expected, rel=1e-12)
+
+
+class TestDistribution:
+    def test_distribution_prefix(self):
+        s = q()
+        d = s.distribution(10)
+        assert len(d) == 11
+        assert d[0] == pytest.approx(s.p0)
+        assert all(p >= 0 for p in d)
+
+    def test_distribution_negative_raises(self):
+        with pytest.raises(ParameterError):
+            q().distribution(-1)
+
+
+class TestConvenience:
+    def test_with_arrival_rate(self):
+        s = q(lam=1.0)
+        s2 = s.with_arrival_rate(3.0)
+        assert s2.arrival_rate == 3.0
+        assert s2.m == s.m and s2.xbar == s.xbar
+        # Original is unchanged.
+        assert s.arrival_rate == 1.0
+
+    def test_functional_shortcuts(self):
+        assert mmm_response_time(4, 1.0, 2.0) == pytest.approx(
+            q().response_time
+        )
+        assert mmm_mean_queue_length(4, 1.0, 2.0) == pytest.approx(
+            q().mean_in_queue
+        )
+
+    def test_pooling_beats_splitting(self):
+        # One m=8 station beats two m=4 stations at the same total load:
+        # a classic queueing fact the model must reproduce.
+        pooled = MMmQueue(8, 1.0, 6.0).response_time
+        split = MMmQueue(4, 1.0, 3.0).response_time
+        assert pooled < split

@@ -1,0 +1,139 @@
+"""Unit tests for repro.core.objective (marginal costs, gradient)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ParameterError
+from repro.core.objective import (
+    gradient,
+    marginal_cost,
+    marginal_cost_at_zero,
+    objective,
+    server_marginal,
+)
+from repro.core.response import generic_response_time
+
+
+class TestServerMarginal:
+    def test_matches_finite_difference_of_weighted_term(self):
+        # server_marginal = d/dlam [lam * T'(lam)].
+        m, xbar, lam_s = 4, 0.8, 1.0
+        lam = 1.5
+        h = 1e-6
+
+        def f(x):
+            return x * generic_response_time(m, xbar, x, lam_s)
+
+        fd = (f(lam + h) - f(lam - h)) / (2 * h)
+        assert server_marginal(m, xbar, lam_s, lam) == pytest.approx(
+            fd, rel=1e-6
+        )
+
+    def test_priority_marginal_larger(self):
+        args = (4, 0.8, 1.5, 1.0)
+        assert server_marginal(*args, "priority") > server_marginal(
+            *args, "fcfs"
+        )
+
+    def test_strictly_increasing(self):
+        vals = [
+            server_marginal(3, 0.7, 1.0, lam) for lam in (0.0, 0.5, 1.5, 2.5)
+        ]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_at_zero_equals_response_time(self):
+        # With lam=0 the rho' term vanishes: marginal = T'(rho'').
+        m, xbar, lam_s = 5, 0.6, 2.0
+        assert server_marginal(m, xbar, lam_s, 0.0) == pytest.approx(
+            generic_response_time(m, xbar, 0.0, lam_s), rel=1e-12
+        )
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ParameterError):
+            server_marginal(2, 1.0, 0.0, -0.5)
+
+
+class TestMarginalCost:
+    def test_scaling_by_total_rate(self):
+        a = marginal_cost(4, 0.8, 1.0, 1.5, total_rate=2.0)
+        b = marginal_cost(4, 0.8, 1.0, 1.5, total_rate=4.0)
+        assert a == pytest.approx(2.0 * b, rel=1e-12)
+
+    def test_at_zero_shortcut(self):
+        assert marginal_cost_at_zero(4, 0.8, 1.0, 3.0) == pytest.approx(
+            marginal_cost(4, 0.8, 1.0, 0.0, 3.0), rel=1e-12
+        )
+
+    def test_bad_total_rate(self):
+        with pytest.raises(ParameterError):
+            marginal_cost(2, 1.0, 0.0, 0.5, total_rate=0.0)
+
+
+class TestGradient:
+    def test_matches_finite_difference(self, small_group):
+        rates = np.array([0.8, 1.2, 1.5])
+        total = float(rates.sum())
+        grad = gradient(small_group, rates)
+        h = 1e-6
+        for i in range(small_group.n):
+            # Perturb coordinate i while keeping the 1/lambda' prefactor
+            # fixed at the unperturbed total (the constrained gradient).
+            up, dn = rates.copy(), rates.copy()
+            up[i] += h
+            dn[i] -= h
+            t_up = sum(
+                up[j]
+                * generic_response_time(
+                    small_group.sizes[j],
+                    small_group.xbars[j],
+                    up[j],
+                    small_group.special_rates[j],
+                )
+                for j in range(3)
+            ) / total
+            t_dn = sum(
+                dn[j]
+                * generic_response_time(
+                    small_group.sizes[j],
+                    small_group.xbars[j],
+                    dn[j],
+                    small_group.special_rates[j],
+                )
+                for j in range(3)
+            ) / total
+            assert grad[i] == pytest.approx((t_up - t_dn) / (2 * h), rel=1e-5)
+
+    def test_objective_delegates_to_group(self, small_group):
+        rates = [0.8, 1.2, 1.5]
+        assert objective(small_group, rates) == pytest.approx(
+            small_group.mean_response_time(rates), rel=1e-15
+        )
+
+    def test_gradient_positive(self, small_group):
+        grad = gradient(small_group, [0.5, 0.5, 0.5])
+        assert np.all(grad > 0)
+
+    def test_gradient_shape_validation(self, small_group):
+        with pytest.raises(ParameterError):
+            gradient(small_group, [1.0, 1.0])
+
+    def test_gradient_zero_total_rejected(self, small_group):
+        with pytest.raises(ParameterError):
+            gradient(small_group, [0.0, 0.0, 0.0])
+
+
+class TestConvexity:
+    """T' must be convex along feasible segments (the optimizer's license)."""
+
+    def test_objective_convex_along_segment(self, small_group):
+        # Midpoint value below the chord for a random feasible pair.
+        a = np.array([0.3, 1.0, 2.0])
+        b = np.array([1.5, 0.8, 1.0])
+        # Rescale b to the same total so the 1/lambda' prefactor matches.
+        b = b * (a.sum() / b.sum())
+        mid = 0.5 * (a + b)
+        t_mid = objective(small_group, mid)
+        chord = 0.5 * (objective(small_group, a) + objective(small_group, b))
+        assert t_mid <= chord + 1e-12

@@ -1,0 +1,91 @@
+"""Tests for discrete capacity planning (repro.analysis.planning)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.planning import (
+    evaluate_blade_additions,
+    greedy_upgrade_path,
+)
+from repro.core.exceptions import ParameterError
+from repro.core.server import BladeServerGroup
+
+
+@pytest.fixture(scope="module")
+def group():
+    return BladeServerGroup.with_special_fraction(
+        sizes=[2, 4, 8], speeds=[1.8, 1.3, 0.9], fraction=0.3
+    )
+
+
+class TestEvaluateBladeAdditions:
+    def test_every_addition_helps(self, group):
+        lam = 0.7 * group.max_generic_rate
+        options = evaluate_blade_additions(group, lam)
+        assert len(options) == group.n
+        assert all(o.gain > 0.0 for o in options)
+
+    def test_sorted_by_gain(self, group):
+        lam = 0.7 * group.max_generic_rate
+        gains = [o.gain for o in evaluate_blade_additions(group, lam)]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_capacity_increase_matches_speed(self, group):
+        lam = 0.5 * group.max_generic_rate
+        base_cap = group.max_generic_rate
+        for o in evaluate_blade_additions(group, lam):
+            # A pure-capacity blade adds exactly s_j / rbar.
+            expected = base_cap + group.speeds[o.server_index] / group.rbar
+            assert o.new_capacity == pytest.approx(expected)
+
+    def test_preload_follows_reduces_gain(self, group):
+        lam = 0.7 * group.max_generic_rate
+        pure = {
+            o.server_index: o.gain
+            for o in evaluate_blade_additions(group, lam, preload_follows=False)
+        }
+        loaded = {
+            o.server_index: o.gain
+            for o in evaluate_blade_additions(group, lam, preload_follows=True)
+        }
+        for j in pure:
+            assert loaded[j] <= pure[j] + 1e-12
+
+    def test_fastest_server_wins_at_equal_sizes(self):
+        g = BladeServerGroup.with_special_fraction(
+            [4, 4, 4], [2.0, 1.5, 1.0], fraction=0.3
+        )
+        lam = 0.7 * g.max_generic_rate
+        best = evaluate_blade_additions(g, lam)[0]
+        assert best.server_index == 0  # blade on the fastest chassis
+
+
+class TestGreedyUpgradePath:
+    def test_monotone_improvement(self, group):
+        lam = 0.7 * group.max_generic_rate
+        steps = greedy_upgrade_path(group, lam, blades=4)
+        assert len(steps) == 4
+        ts = [s.t_prime for s in steps]
+        assert all(b < a for a, b in zip(ts, ts[1:]))
+
+    def test_sizes_track_placements(self, group):
+        lam = 0.6 * group.max_generic_rate
+        steps = greedy_upgrade_path(group, lam, blades=3)
+        total0 = group.total_blades
+        for k, s in enumerate(steps, start=1):
+            assert sum(s.sizes) == total0 + k
+
+    def test_diminishing_returns(self, group):
+        lam = 0.7 * group.max_generic_rate
+        steps = greedy_upgrade_path(group, lam, blades=5)
+        base = evaluate_blade_additions(group, lam)[0].t_prime
+        # Per-step gains weakly decrease after the first couple of steps.
+        ts = [base] + [s.t_prime for s in steps[1:]]
+        gains = [a - b for a, b in zip(ts, ts[1:])]
+        assert gains[-1] <= gains[0] + 1e-12
+
+    def test_invalid_blades(self, group):
+        with pytest.raises(ParameterError):
+            greedy_upgrade_path(group, 1.0, blades=0)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.core.power (speed scaling under a power budget)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConvergenceError, InfeasibleError, ParameterError
+from repro.core.kkt import solve_kkt
+from repro.core.power import optimize_speeds_under_power
+from repro.core.server import BladeServerGroup
+
+
+class TestBasics:
+    def test_budget_respected(self):
+        res = optimize_speeds_under_power(
+            sizes=[4, 4], special_rates=[0.5, 0.5], total_rate=3.0,
+            power_budget=20.0, alpha=3.0,
+        )
+        assert res.total_power <= 20.0 * (1 + 1e-8)
+        assert np.allclose(res.powers, 4 * res.speeds**3)
+
+    def test_distribution_is_optimal_at_chosen_speeds(self):
+        res = optimize_speeds_under_power(
+            sizes=[2, 6], special_rates=[0.3, 0.8], total_rate=2.5,
+            power_budget=15.0,
+        )
+        group = BladeServerGroup.from_arrays(
+            [2, 6], res.speeds.tolist(), [0.3, 0.8]
+        )
+        ref = solve_kkt(group, 2.5, "fcfs")
+        assert res.mean_response_time == pytest.approx(
+            ref.mean_response_time, rel=1e-9
+        )
+
+    def test_symmetric_instance_gets_symmetric_speeds_or_better(self):
+        # Identical servers: the optimizer may keep them symmetric or
+        # consolidate; either way it must not lose to the uniform split.
+        res = optimize_speeds_under_power(
+            sizes=[4, 4], special_rates=[0.5, 0.5], total_rate=4.0,
+            power_budget=16.0,
+        )
+        s_uniform = (16.0 / 8) ** (1 / 3)
+        uniform_group = BladeServerGroup.from_arrays(
+            [4, 4], [s_uniform, s_uniform], [0.5, 0.5]
+        )
+        t_uniform = solve_kkt(uniform_group, 4.0, "fcfs").mean_response_time
+        assert res.mean_response_time <= t_uniform + 1e-6
+
+    def test_more_power_never_hurts(self):
+        kwargs = dict(
+            sizes=[2, 4], special_rates=[0.4, 0.8], total_rate=3.0, alpha=3.0
+        )
+        t_small = optimize_speeds_under_power(
+            power_budget=12.0, **kwargs
+        ).mean_response_time
+        t_large = optimize_speeds_under_power(
+            power_budget=24.0, **kwargs
+        ).mean_response_time
+        assert t_large <= t_small + 1e-6
+
+    def test_priority_discipline_supported(self):
+        res = optimize_speeds_under_power(
+            sizes=[2, 4], special_rates=[0.4, 0.8], total_rate=2.0,
+            power_budget=12.0, discipline="priority",
+        )
+        assert res.mean_response_time > 0.0
+
+    def test_speeds_stabilize_dedicated_load(self):
+        res = optimize_speeds_under_power(
+            sizes=[2, 4], special_rates=[1.0, 2.0], total_rate=1.0,
+            power_budget=30.0,
+        )
+        # Every server must be stable under its special load alone.
+        rho_special = np.asarray([1.0, 2.0]) / (
+            np.asarray([2, 4]) * res.speeds
+        )
+        assert np.all(rho_special < 1.0)
+
+
+class TestValidation:
+    def test_budget_below_dedicated_need(self):
+        with pytest.raises(InfeasibleError):
+            optimize_speeds_under_power(
+                sizes=[1], special_rates=[5.0], total_rate=0.5,
+                power_budget=0.01,
+            )
+
+    def test_bad_alpha(self):
+        with pytest.raises(ParameterError):
+            optimize_speeds_under_power(
+                sizes=[2], special_rates=[0.1], total_rate=0.5,
+                power_budget=5.0, alpha=1.0,
+            )
+
+    def test_bad_budget(self):
+        with pytest.raises(ParameterError):
+            optimize_speeds_under_power(
+                sizes=[2], special_rates=[0.1], total_rate=0.5,
+                power_budget=0.0,
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            optimize_speeds_under_power(
+                sizes=[2, 2], special_rates=[0.1], total_rate=0.5,
+                power_budget=5.0,
+            )
+
+    def test_generic_load_beyond_any_speed_raises(self):
+        # Tiny budget that can stabilize specials but never the generic
+        # flood -> the optimizer must fail loudly, not return garbage.
+        with pytest.raises((InfeasibleError, ConvergenceError)):
+            optimize_speeds_under_power(
+                sizes=[1], special_rates=[0.0], total_rate=100.0,
+                power_budget=0.5,
+            )

@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the queueing core.
+
+These sweep the whole parameter space rather than hand-picked points:
+Erlang monotonicity, distribution normalization, Little's law, the
+discipline ordering, and the derivative sign — the invariants every
+downstream component silently relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.erlang import (
+    dp_zero_drho,
+    erlang_b,
+    erlang_c,
+    p_k,
+    p_zero,
+    p_zero_direct,
+)
+from repro.core.mmm import MMmQueue
+from repro.core.response import (
+    d_generic_response_time_drho,
+    generic_response_time_rho,
+)
+
+sizes = st.integers(min_value=1, max_value=60)
+utilizations = st.floats(
+    min_value=1e-4, max_value=0.995, allow_nan=False, allow_infinity=False
+)
+service_times = st.floats(
+    min_value=1e-3, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestErlangProperties:
+    @given(m=sizes, rho=utilizations)
+    def test_probabilities_in_unit_interval(self, m, rho):
+        assert 0.0 < p_zero(m, rho) <= 1.0
+        assert 0.0 <= erlang_c(m, rho) < 1.0
+        assert 0.0 <= erlang_b(m, m * rho) < 1.0
+
+    @given(m=st.integers(min_value=1, max_value=30), rho=utilizations)
+    def test_stable_matches_direct(self, m, rho):
+        assert math.isclose(
+            p_zero(m, rho), p_zero_direct(m, rho), rel_tol=1e-9
+        )
+
+    @given(m=sizes, rho=utilizations)
+    def test_erlang_c_geq_erlang_b(self, m, rho):
+        # Queueing (delay) probability always >= blocking probability.
+        assert erlang_c(m, rho) >= erlang_b(m, m * rho) - 1e-15
+
+    @given(m=sizes, rho=utilizations)
+    def test_distribution_normalizes(self, m, rho):
+        head = sum(p_k(m, rho, k) for k in range(m))
+        tail = p_k(m, rho, m) / (1.0 - rho)
+        assert math.isclose(head + tail, 1.0, rel_tol=1e-8)
+
+    @given(m=sizes, rho=utilizations)
+    def test_dp_zero_negative(self, m, rho):
+        assert dp_zero_drho(m, rho) < 0.0
+
+    @given(
+        m=sizes,
+        rho_pair=st.tuples(utilizations, utilizations),
+    )
+    def test_p_zero_monotone_decreasing(self, m, rho_pair):
+        lo, hi = sorted(rho_pair)
+        assert p_zero(m, hi) <= p_zero(m, lo) + 1e-12
+
+
+class TestMMmProperties:
+    @given(m=sizes, xbar=service_times, rho=utilizations)
+    @settings(max_examples=60)
+    def test_littles_law(self, m, xbar, rho):
+        lam = rho * m / xbar
+        q = MMmQueue(m, xbar, lam)
+        assert math.isclose(
+            q.mean_in_system, lam * q.response_time, rel_tol=1e-8
+        )
+        assert math.isclose(
+            q.mean_in_queue, lam * q.waiting_time, rel_tol=1e-6, abs_tol=1e-12
+        )
+
+    @given(m=sizes, xbar=service_times, rho=utilizations)
+    @settings(max_examples=60)
+    def test_response_bounded_below_by_service(self, m, xbar, rho):
+        lam = rho * m / xbar
+        q = MMmQueue(m, xbar, lam)
+        assert q.response_time >= xbar
+        assert q.mean_in_system >= q.mean_busy_blades - 1e-12
+
+
+class TestResponseProperties:
+    @given(
+        m=sizes,
+        xbar=service_times,
+        rho=utilizations,
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80)
+    def test_priority_dominates_fcfs(self, m, xbar, rho, frac):
+        rho_s = rho * frac
+        t_f = generic_response_time_rho(m, xbar, rho, rho_s, "fcfs")
+        t_p = generic_response_time_rho(m, xbar, rho, rho_s, "priority")
+        assert t_p >= t_f - 1e-12
+        assert t_f >= xbar
+
+    @given(
+        m=sizes,
+        xbar=service_times,
+        rho=st.floats(min_value=1e-3, max_value=0.99),
+        frac=st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=80)
+    def test_derivative_positive(self, m, xbar, rho, frac):
+        rho_s = rho * frac
+        assert d_generic_response_time_drho(m, xbar, rho, rho_s, "fcfs") > 0
+        assert (
+            d_generic_response_time_drho(m, xbar, rho, rho_s, "priority") > 0
+        )
+
+    @given(
+        m=sizes,
+        xbar=service_times,
+        rho_pair=st.tuples(utilizations, utilizations),
+    )
+    @settings(max_examples=60)
+    def test_response_monotone_in_rho(self, m, xbar, rho_pair):
+        lo, hi = sorted(rho_pair)
+        t_lo = generic_response_time_rho(m, xbar, lo, 0.0, "fcfs")
+        t_hi = generic_response_time_rho(m, xbar, hi, 0.0, "fcfs")
+        assert t_hi >= t_lo - 1e-12

@@ -1,0 +1,181 @@
+"""Tests for sim requirement distributions and the robustness analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    preload_misestimation,
+    service_law_mismatch,
+)
+from repro.core.exceptions import ParameterError
+from repro.core.server import BladeServerGroup
+from repro.sim.engine import simulate_group
+from repro.sim.requirements import (
+    DeterministicRequirement,
+    ErlangRequirement,
+    ExponentialRequirement,
+    HyperExponentialRequirement,
+)
+
+
+RNG = np.random.default_rng(7)
+
+
+class TestRequirementDistributions:
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            ExponentialRequirement(2.0),
+            DeterministicRequirement(2.0),
+            ErlangRequirement(2.0, k=4),
+            HyperExponentialRequirement(2.0, scv=5.0),
+        ],
+    )
+    def test_empirical_mean(self, dist):
+        draws = np.array([dist.sample(RNG) for _ in range(40_000)])
+        assert float(draws.mean()) == pytest.approx(2.0, rel=0.05)
+        assert np.all(draws >= 0.0)
+
+    @pytest.mark.parametrize(
+        "dist,scv",
+        [
+            (ExponentialRequirement(1.0), 1.0),
+            (DeterministicRequirement(1.0), 0.0),
+            (ErlangRequirement(1.0, k=2), 0.5),
+            (ErlangRequirement(1.0, k=10), 0.1),
+            (HyperExponentialRequirement(1.0, scv=4.0), 4.0),
+        ],
+    )
+    def test_declared_scv(self, dist, scv):
+        assert dist.scv == pytest.approx(scv, rel=1e-12)
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            ErlangRequirement(1.0, k=3),
+            HyperExponentialRequirement(1.0, scv=6.0),
+        ],
+    )
+    def test_empirical_scv(self, dist):
+        draws = np.array([dist.sample(RNG) for _ in range(120_000)])
+        emp = float(draws.var() / draws.mean() ** 2)
+        assert emp == pytest.approx(dist.scv, rel=0.1)
+
+    def test_hyperexponential_moments_exact(self):
+        h = HyperExponentialRequirement(3.0, scv=4.0)
+        p1, p2 = h.branch_probabilities
+        m1, m2 = h.branch_means
+        assert p1 + p2 == pytest.approx(1.0)
+        assert p1 * m1 + p2 * m2 == pytest.approx(3.0)
+        second = 2 * (p1 * m1**2 + p2 * m2**2)
+        assert second / 9.0 - 1.0 == pytest.approx(4.0, rel=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ExponentialRequirement(0.0)
+        with pytest.raises(ParameterError):
+            ErlangRequirement(1.0, k=0)
+        with pytest.raises(ParameterError):
+            HyperExponentialRequirement(1.0, scv=1.0)
+
+    def test_engine_rejects_mismatched_mean(self):
+        group = BladeServerGroup.from_arrays([2], [1.0], rbar=1.0)
+        with pytest.raises(ParameterError):
+            simulate_group(
+                group,
+                0.5,
+                [1.0],
+                horizon=100.0,
+                warmup=10.0,
+                requirement=ExponentialRequirement(2.0),
+            )
+
+    def test_deterministic_beats_exponential_in_sim(self):
+        # M/D/m waits are about half of M/M/m waits; the simulated T'
+        # with deterministic requirements must come out lower.
+        group = BladeServerGroup.from_arrays([2], [1.0], rbar=1.0)
+        kw = dict(horizon=8_000.0, warmup=800.0, seed=3)
+        t_exp = simulate_group(group, 1.6, [1.0], **kw).generic_response_time
+        t_det = simulate_group(
+            group, 1.6, [1.0], requirement=DeterministicRequirement(1.0), **kw
+        ).generic_response_time
+        assert t_det < t_exp
+
+
+class TestPreloadMisestimation:
+    def make_group(self, specials):
+        return BladeServerGroup.from_arrays(
+            [2, 4, 6], [1.4, 1.2, 1.0], specials
+        )
+
+    def test_exact_estimate_zero_regret(self):
+        g = self.make_group([0.5, 1.0, 1.5])
+        rep = preload_misestimation(g, [0.5, 1.0, 1.5], total_rate=3.0)
+        assert rep.regret == pytest.approx(1.0, rel=1e-9)
+        assert not rep.saturated
+
+    def test_underestimate_costs(self):
+        assumed = self.make_group([0.2, 0.4, 0.6])
+        true = [0.8, 1.6, 2.4]
+        rep = preload_misestimation(assumed, true, total_rate=3.0)
+        assert rep.regret >= 1.0
+        assert rep.realized >= rep.oracle
+
+    def test_gross_underestimate_saturates(self):
+        # Assume an idle fleet, run against a nearly full one at high
+        # generic load: the stale split must overload something.
+        assumed = self.make_group([0.0, 0.0, 0.0])
+        true = [2.2, 3.8, 4.2]
+        lam = 0.9 * (
+            self.make_group(true).max_generic_rate
+        )
+        rep = preload_misestimation(assumed, true, total_rate=lam)
+        assert rep.saturated
+        assert rep.realized == float("inf")
+        assert rep.regret == float("inf")
+
+    def test_overestimate_mild(self):
+        # Overestimating the preload is conservative: feasible, small cost.
+        assumed = self.make_group([1.0, 2.0, 3.0])
+        true = [0.5, 1.0, 1.5]
+        rep = preload_misestimation(assumed, true, total_rate=3.0)
+        assert not rep.saturated
+        assert 1.0 <= rep.regret < 1.2
+
+    def test_shape_validation(self):
+        g = self.make_group([0.5, 1.0, 1.5])
+        with pytest.raises(ParameterError):
+            preload_misestimation(g, [0.5, 1.0], total_rate=3.0)
+
+
+class TestServiceLawMismatch:
+    @pytest.fixture(scope="class")
+    def group(self):
+        return BladeServerGroup.with_special_fraction(
+            [2, 4], [1.2, 1.0], fraction=0.3
+        )
+
+    def test_exponential_control_drift_near_one(self, group):
+        rep = service_law_mismatch(
+            group,
+            0.6 * group.max_generic_rate,
+            ExponentialRequirement(group.rbar),
+            horizon=6_000.0,
+            warmup=600.0,
+            seed=1,
+        )
+        assert rep.drift == pytest.approx(1.0, abs=0.05)
+
+    def test_deterministic_faster_hyper_slower(self, group):
+        lam = 0.7 * group.max_generic_rate
+        kw = dict(horizon=6_000.0, warmup=600.0, seed=2)
+        det = service_law_mismatch(
+            group, lam, DeterministicRequirement(group.rbar), **kw
+        )
+        hyp = service_law_mismatch(
+            group, lam, HyperExponentialRequirement(group.rbar, scv=4.0), **kw
+        )
+        assert det.drift < 1.0 < hyp.drift
+        assert det.scv == 0.0 and hyp.scv == 4.0

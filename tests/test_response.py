@@ -1,0 +1,166 @@
+"""Unit tests for repro.core.response (T'_i models and derivatives)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ParameterError, SaturationError
+from repro.core.mmm import MMmQueue
+from repro.core.response import (
+    Discipline,
+    d_generic_response_time_drho,
+    generic_response_time,
+    generic_response_time_rho,
+    generic_waiting_time,
+    special_waiting_time,
+    waiting_factor,
+)
+
+
+class TestDiscipline:
+    def test_coerce_enum_passthrough(self):
+        assert Discipline.coerce(Discipline.FCFS) is Discipline.FCFS
+
+    def test_coerce_strings(self):
+        assert Discipline.coerce("fcfs") is Discipline.FCFS
+        assert Discipline.coerce("FCFS") is Discipline.FCFS
+        assert Discipline.coerce("priority") is Discipline.PRIORITY
+
+    def test_coerce_unknown_raises(self):
+        with pytest.raises(ParameterError):
+            Discipline.coerce("lifo")
+
+
+class TestFCFSResponseTime:
+    def test_matches_mmm_response_time(self):
+        # Without priority, T'_i equals the plain M/M/m response time of
+        # the merged stream (paper: T'_i = T_i).
+        m, xbar = 6, 0.7142857
+        lam_g, lam_s = 3.0, 2.5
+        t = generic_response_time(m, xbar, lam_g, lam_s, "fcfs")
+        station = MMmQueue(m, xbar, lam_g + lam_s)
+        assert t == pytest.approx(station.response_time, rel=1e-12)
+
+    def test_zero_load_gives_service_time(self):
+        assert generic_response_time(4, 0.5, 0.0, 0.0) == pytest.approx(0.5)
+
+    def test_independent_of_class_mix(self):
+        # FCFS T' depends only on the total rate, not the split.
+        m, xbar = 4, 0.8
+        a = generic_response_time(m, xbar, 3.0, 1.0, "fcfs")
+        b = generic_response_time(m, xbar, 1.0, 3.0, "fcfs")
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_increasing_in_load(self):
+        values = [
+            generic_response_time(4, 0.5, lam, 1.0, "fcfs")
+            for lam in (0.5, 2.0, 4.0, 6.0)
+        ]
+        assert values == sorted(values)
+
+    def test_saturation_raises(self):
+        with pytest.raises(SaturationError):
+            generic_response_time(2, 1.0, 1.5, 0.5, "fcfs")
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ParameterError):
+            generic_response_time(2, 1.0, -0.1, 0.5)
+
+
+class TestPriorityResponseTime:
+    def test_priority_factor(self):
+        # Theorem 2: the waiting term is exactly 1/(1 - rho'') larger.
+        m, xbar = 6, 0.7
+        lam_g, lam_s = 2.0, 2.0
+        rho_s = lam_s * xbar / m
+        t_f = generic_response_time(m, xbar, lam_g, lam_s, "fcfs")
+        t_p = generic_response_time(m, xbar, lam_g, lam_s, "priority")
+        wait_f = t_f - xbar
+        wait_p = t_p - xbar
+        assert wait_p == pytest.approx(wait_f / (1.0 - rho_s), rel=1e-12)
+
+    def test_priority_never_better_for_generic(self):
+        for lam_s in (0.0, 1.0, 2.5):
+            t_f = generic_response_time(6, 0.7, 2.0, lam_s, "fcfs")
+            t_p = generic_response_time(6, 0.7, 2.0, lam_s, "priority")
+            assert t_p >= t_f
+
+    def test_no_specials_disciplines_coincide(self):
+        t_f = generic_response_time(5, 0.9, 3.0, 0.0, "fcfs")
+        t_p = generic_response_time(5, 0.9, 3.0, 0.0, "priority")
+        assert t_f == pytest.approx(t_p, rel=1e-12)
+
+    def test_mm1_closed_form(self):
+        # m=1 priority: T' = xbar (1 + rho/((1-rho'')(1-rho))).
+        xbar, lam_g, lam_s = 1.0, 0.3, 0.4
+        rho, rho_s = 0.7, 0.4
+        expected = xbar * (1.0 + rho / ((1.0 - rho_s) * (1.0 - rho)))
+        got = generic_response_time(1, xbar, lam_g, lam_s, "priority")
+        assert got == pytest.approx(expected, rel=1e-12)
+
+
+class TestWaitingTimes:
+    def test_special_wait_below_generic_wait_under_priority(self):
+        m, xbar, rho, rho_s = 4, 0.8, 0.7, 0.3
+        w_s = special_waiting_time(m, xbar, rho, rho_s)
+        w_g = generic_waiting_time(m, xbar, rho, rho_s, "priority")
+        assert w_s < w_g
+
+    def test_fcfs_wait_is_class_blind(self):
+        m, xbar, rho = 4, 0.8, 0.7
+        w1 = generic_waiting_time(m, xbar, rho, 0.1, "fcfs")
+        w2 = generic_waiting_time(m, xbar, rho, 0.6, "fcfs")
+        assert w1 == pytest.approx(w2, rel=1e-12)
+
+    def test_conservation_identity(self):
+        # Work conservation: the class-weighted mean wait under priority
+        # equals the FCFS mean wait (both disciplines are non-idling and
+        # non-preemptive with exponential service).
+        m, xbar = 5, 0.6
+        lam_g, lam_s = 2.0, 3.0
+        rho = (lam_g + lam_s) * xbar / m
+        rho_s = lam_s * xbar / m
+        w_fcfs = generic_waiting_time(m, xbar, rho, rho_s, "fcfs")
+        w_g = generic_waiting_time(m, xbar, rho, rho_s, "priority")
+        w_s = special_waiting_time(m, xbar, rho, rho_s)
+        blended = (lam_g * w_g + lam_s * w_s) / (lam_g + lam_s)
+        assert blended == pytest.approx(w_fcfs, rel=1e-10)
+
+    def test_waiting_factor_is_normalized_wait(self):
+        m, xbar, rho = 6, 0.7, 0.8
+        w = generic_waiting_time(m, xbar, rho, 0.0, "fcfs")
+        assert waiting_factor(m, rho) == pytest.approx(w / xbar, rel=1e-12)
+
+
+class TestDerivative:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8, 14])
+    @pytest.mark.parametrize("rho", [0.1, 0.4, 0.7, 0.9])
+    @pytest.mark.parametrize("disc", ["fcfs", "priority"])
+    def test_matches_finite_difference(self, m, rho, disc):
+        xbar = 0.8
+        rho_s = min(0.3, rho / 2)  # held fixed (and < rho - h) while rho varies
+        h = 1e-7
+
+        def t(r):
+            return generic_response_time_rho(m, xbar, r, rho_s, disc)
+
+        fd = (t(rho + h) - t(rho - h)) / (2 * h)
+        analytic = d_generic_response_time_drho(m, xbar, rho, rho_s, disc)
+        # abs floor: at large m and tiny rho the true derivative is ~1e-9
+        # and the finite difference loses most digits to cancellation.
+        assert analytic == pytest.approx(fd, rel=2e-5, abs=1e-9)
+
+    def test_positive_on_interior(self):
+        for m in (1, 3, 9):
+            for rho in (0.2, 0.6, 0.95):
+                assert d_generic_response_time_drho(m, 1.0, rho, 0.1) > 0.0
+
+    def test_priority_derivative_scaled(self):
+        m, xbar, rho, rho_s = 4, 1.0, 0.6, 0.25
+        d_f = d_generic_response_time_drho(m, xbar, rho, rho_s, "fcfs")
+        d_p = d_generic_response_time_drho(m, xbar, rho, rho_s, "priority")
+        assert d_p == pytest.approx(d_f / (1.0 - rho_s), rel=1e-12)
+
+    def test_rho_special_exceeding_rho_raises(self):
+        with pytest.raises(ParameterError):
+            generic_response_time_rho(2, 1.0, 0.3, 0.5)

@@ -1,0 +1,254 @@
+"""Unit tests for simulator components: rng, events, task, server, dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ParameterError, SimulationError
+from repro.core.response import Discipline
+from repro.sim.dispatcher import DynamicDispatcher, ProbabilisticDispatcher
+from repro.sim.events import EventQueue, EventType
+from repro.sim.rng import StreamFactory, exponential
+from repro.sim.server import SimServer
+from repro.sim.task import SimTask, TaskClass
+
+
+class TestStreamFactory:
+    def test_deterministic_given_seed(self):
+        a = StreamFactory(7).stream().random(5)
+        b = StreamFactory(7).stream().random(5)
+        assert np.allclose(a, b)
+
+    def test_streams_independent(self):
+        f = StreamFactory(7)
+        s1, s2 = f.stream(), f.stream()
+        assert not np.allclose(s1.random(5), s2.random(5))
+
+    def test_named_streams_cached(self):
+        f = StreamFactory(0)
+        assert f.stream("a") is f.stream("a")
+        assert f.stream("a") is not f.stream("b")
+
+    def test_spawn_count(self):
+        f = StreamFactory(0)
+        gens = f.spawn(4)
+        assert len(gens) == 4
+        assert f.streams_created == 4
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ParameterError):
+            StreamFactory(0).spawn(-1)
+
+    def test_exponential_mean(self):
+        rng = StreamFactory(3).stream()
+        draws = [exponential(rng, 2.0) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(2.0, rel=0.05)
+
+    def test_exponential_invalid_mean(self):
+        rng = StreamFactory(0).stream()
+        with pytest.raises(ParameterError):
+            exponential(rng, 0.0)
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.schedule(3.0, EventType.END_OF_RUN)
+        q.schedule(1.0, EventType.GENERIC_ARRIVAL)
+        q.schedule(2.0, EventType.DEPARTURE)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_among_simultaneous(self):
+        q = EventQueue()
+        q.schedule(1.0, EventType.GENERIC_ARRIVAL, payload="first")
+        q.schedule(1.0, EventType.GENERIC_ARRIVAL, payload="second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.schedule(5.0, EventType.END_OF_RUN)
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 5.0
+
+    def test_scheduling_into_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, EventType.END_OF_RUN)
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.schedule(4.0, EventType.DEPARTURE)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(2.0, EventType.END_OF_RUN)
+        assert len(q) == 1
+        assert q.peek_time() == 2.0
+        assert len(q) == 1  # peek does not consume
+
+
+class TestSimTask:
+    def test_lifecycle_metrics(self):
+        t = SimTask(1, TaskClass.GENERIC, 0, arrival_time=1.0, requirement=2.0)
+        t.start_time = 3.0
+        t.completion_time = 5.0
+        assert t.waiting_time == pytest.approx(2.0)
+        assert t.response_time == pytest.approx(4.0)
+
+    def test_service_time_scales_with_speed(self):
+        t = SimTask(1, TaskClass.SPECIAL, 0, 0.0, requirement=3.0)
+        assert t.service_time(1.5) == pytest.approx(2.0)
+
+    def test_unset_times_are_nan(self):
+        t = SimTask(1, TaskClass.GENERIC, 0, 0.0, 1.0)
+        assert np.isnan(t.response_time)
+        assert np.isnan(t.waiting_time)
+
+
+def task(tid, cls=TaskClass.GENERIC, arrival=0.0):
+    return SimTask(tid, cls, 0, arrival, requirement=1.0)
+
+
+class TestSimServerFCFS:
+    def test_immediate_service_when_idle(self):
+        s = SimServer(0, size=2, speed=1.0)
+        out = s.on_arrival(task(1), now=1.0)
+        assert out is not None
+        assert s.busy == 1
+        assert out.start_time == 1.0
+
+    def test_queues_when_full(self):
+        s = SimServer(0, size=1, speed=1.0)
+        assert s.on_arrival(task(1), 0.0) is not None
+        assert s.on_arrival(task(2), 0.5) is None
+        assert s.queue_length == 1
+        assert s.in_system == 2
+
+    def test_departure_pulls_from_queue(self):
+        s = SimServer(0, size=1, speed=1.0)
+        s.on_arrival(task(1), 0.0)
+        s.on_arrival(task(2), 0.5)
+        nxt = s.on_departure(now=2.0)
+        assert nxt is not None and nxt.task_id == 2
+        assert nxt.start_time == 2.0
+        assert s.busy == 1
+
+    def test_departure_idles_blade_when_queue_empty(self):
+        s = SimServer(0, size=1, speed=1.0)
+        s.on_arrival(task(1), 0.0)
+        assert s.on_departure(1.0) is None
+        assert s.busy == 0
+
+    def test_departure_without_busy_raises(self):
+        with pytest.raises(SimulationError):
+            SimServer(0, 1, 1.0).on_departure(0.0)
+
+    def test_fcfs_order_is_class_blind(self):
+        s = SimServer(0, size=1, speed=1.0, discipline=Discipline.FCFS)
+        s.on_arrival(task(1), 0.0)
+        s.on_arrival(task(2, TaskClass.GENERIC), 0.1)
+        s.on_arrival(task(3, TaskClass.SPECIAL), 0.2)
+        assert s.on_departure(1.0).task_id == 2  # generic first: FIFO
+        assert s.on_departure(2.0).task_id == 3
+
+    def test_counters(self):
+        s = SimServer(0, size=2, speed=1.0)
+        s.on_arrival(task(1), 0.0)
+        s.on_arrival(task(2), 0.0)
+        s.on_departure(1.0)
+        assert s.arrivals == 2
+        assert s.completions == 1
+
+
+class TestSimServerPriority:
+    def test_special_jumps_generic_queue(self):
+        s = SimServer(0, size=1, speed=1.0, discipline=Discipline.PRIORITY)
+        s.on_arrival(task(1), 0.0)  # in service
+        s.on_arrival(task(2, TaskClass.GENERIC), 0.1)
+        s.on_arrival(task(3, TaskClass.SPECIAL), 0.2)
+        assert s.on_departure(1.0).task_id == 3  # special overtakes
+        assert s.on_departure(2.0).task_id == 2
+
+    def test_non_preemptive(self):
+        # A generic task in service is never interrupted by specials.
+        s = SimServer(0, size=1, speed=1.0, discipline=Discipline.PRIORITY)
+        in_service = s.on_arrival(task(1, TaskClass.GENERIC), 0.0)
+        assert in_service.task_id == 1
+        s.on_arrival(task(2, TaskClass.SPECIAL), 0.1)
+        assert s.busy == 1  # still only the generic task in service
+
+    def test_specials_fifo_among_themselves(self):
+        s = SimServer(0, size=1, speed=1.0, discipline=Discipline.PRIORITY)
+        s.on_arrival(task(1), 0.0)
+        s.on_arrival(task(2, TaskClass.SPECIAL), 0.1)
+        s.on_arrival(task(3, TaskClass.SPECIAL), 0.2)
+        assert s.on_departure(1.0).task_id == 2
+        assert s.on_departure(2.0).task_id == 3
+
+
+class TestProbabilisticDispatcher:
+    def make(self, fractions, seed=0):
+        return ProbabilisticDispatcher(
+            fractions, np.random.default_rng(seed)
+        )
+
+    def test_empirical_frequencies(self):
+        d = self.make([0.2, 0.5, 0.3])
+        servers = [SimServer(i, 1, 1.0) for i in range(3)]
+        counts = np.zeros(3)
+        for _ in range(30_000):
+            counts[d.route(servers)] += 1
+        assert np.allclose(counts / counts.sum(), [0.2, 0.5, 0.3], atol=0.01)
+
+    def test_degenerate_distribution(self):
+        d = self.make([0.0, 1.0, 0.0])
+        servers = [SimServer(i, 1, 1.0) for i in range(3)]
+        assert all(d.route(servers) == 1 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            self.make([0.5, 0.6])  # sums to 1.1
+        with pytest.raises(ParameterError):
+            self.make([-0.1, 1.1])
+        with pytest.raises(ParameterError):
+            self.make([])
+
+    def test_fractions_property_copies(self):
+        d = self.make([0.4, 0.6])
+        f = d.fractions
+        f[0] = 99.0
+        assert d.fractions[0] == pytest.approx(0.4)
+
+
+class TestDynamicDispatcher:
+    def test_routes_to_least_loaded(self):
+        d = DynamicDispatcher([0.5, 0.5])
+        s0, s1 = SimServer(0, 1, 1.0), SimServer(1, 1, 1.0)
+        s0.on_arrival(task(1), 0.0)  # s0 now busier
+        assert d.route([s0, s1]) == 1
+
+    def test_respects_zero_fractions(self):
+        d = DynamicDispatcher([0.0, 1.0])
+        s0, s1 = SimServer(0, 8, 9.0), SimServer(1, 1, 0.1)
+        s1.on_arrival(task(1), 0.0)
+        # s0 is hugely preferable but ineligible.
+        assert d.route([s0, s1]) == 1
+
+    def test_normalizes_by_capacity(self):
+        d = DynamicDispatcher([0.5, 0.5])
+        fast = SimServer(0, 4, 2.0)
+        slow = SimServer(1, 1, 0.5)
+        fast.on_arrival(task(1), 0.0)  # 1 task on 8 capacity
+        slow.on_arrival(task(2), 0.0)  # 1 task on 0.5 capacity
+        assert d.route([fast, slow]) == 0
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            DynamicDispatcher([0.0, 0.0])

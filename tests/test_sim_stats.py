@@ -1,0 +1,158 @@
+"""Unit tests for repro.sim.stats (Welford, time averages, batch means)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ParameterError, SimulationError
+from repro.sim.stats import (
+    BatchMeans,
+    ConfidenceInterval,
+    RunningStats,
+    TimeWeightedStats,
+)
+
+
+class TestRunningStats:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(3.0, 2.0, size=1000)
+        rs = RunningStats()
+        for x in data:
+            rs.add(float(x))
+        assert rs.count == 1000
+        assert rs.mean == pytest.approx(float(np.mean(data)), rel=1e-12)
+        assert rs.variance == pytest.approx(float(np.var(data, ddof=1)), rel=1e-10)
+        assert rs.minimum == pytest.approx(float(data.min()))
+        assert rs.maximum == pytest.approx(float(data.max()))
+
+    def test_merge_equals_concatenation(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.random(100), rng.random(57)
+        ra, rb, rc = RunningStats(), RunningStats(), RunningStats()
+        for x in a:
+            ra.add(float(x))
+        for x in b:
+            rb.add(float(x))
+        for x in np.concatenate([a, b]):
+            rc.add(float(x))
+        ra.merge(rb)
+        assert ra.count == rc.count
+        assert ra.mean == pytest.approx(rc.mean, rel=1e-12)
+        assert ra.variance == pytest.approx(rc.variance, rel=1e-10)
+
+    def test_merge_with_empty(self):
+        ra, rb = RunningStats(), RunningStats()
+        ra.add(1.0)
+        ra.merge(rb)  # no-op
+        assert ra.count == 1
+        rb.merge(ra)  # adopt
+        assert rb.mean == 1.0
+
+    def test_numerical_stability_large_offset(self):
+        # Classic catastrophic-cancellation scenario.
+        rs = RunningStats()
+        for x in (1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0):
+            rs.add(x)
+        assert rs.variance == pytest.approx(1.0, rel=1e-6)
+
+    def test_empty_raises(self):
+        rs = RunningStats()
+        with pytest.raises(SimulationError):
+            _ = rs.mean
+        rs.add(1.0)
+        with pytest.raises(SimulationError):
+            _ = rs.variance
+
+
+class TestTimeWeightedStats:
+    def test_rectangle_integration(self):
+        tw = TimeWeightedStats()
+        tw.reset(0.0, 0.0)
+        tw.update(1.0, 2.0)  # value 0 on [0,1]
+        tw.update(3.0, 1.0)  # value 2 on [1,3]
+        # value 1 on [3,5]
+        assert tw.mean(5.0) == pytest.approx((0 * 1 + 2 * 2 + 1 * 2) / 5.0)
+
+    def test_reset_discards_history(self):
+        tw = TimeWeightedStats()
+        tw.reset(0.0, 10.0)
+        tw.update(5.0, 10.0)
+        tw.reset(5.0, 1.0)  # warmup cut
+        assert tw.mean(10.0) == pytest.approx(1.0)
+
+    def test_first_update_implicitly_resets(self):
+        tw = TimeWeightedStats()
+        tw.update(2.0, 3.0)
+        assert tw.mean(4.0) == pytest.approx(3.0)
+
+    def test_time_backwards_rejected(self):
+        tw = TimeWeightedStats()
+        tw.reset(0.0, 1.0)
+        tw.update(2.0, 1.0)
+        with pytest.raises(SimulationError):
+            tw.update(1.0, 0.0)
+
+    def test_mean_before_update_raises(self):
+        with pytest.raises(SimulationError):
+            TimeWeightedStats().mean(1.0)
+
+    def test_zero_window_raises(self):
+        tw = TimeWeightedStats()
+        tw.reset(1.0, 2.0)
+        with pytest.raises(SimulationError):
+            tw.mean(1.0)
+
+
+class TestBatchMeans:
+    def test_mean(self):
+        bm = BatchMeans(n_batches=4)
+        for x in range(100):
+            bm.add(float(x))
+        assert bm.mean == pytest.approx(49.5)
+        assert bm.count == 100
+
+    def test_interval_covers_iid_mean(self):
+        rng = np.random.default_rng(42)
+        bm = BatchMeans(n_batches=20)
+        for x in rng.normal(5.0, 1.0, size=10_000):
+            bm.add(float(x))
+        ci = bm.interval(0.95)
+        assert ci.contains(5.0)
+        assert ci.half_width < 0.1
+
+    def test_interval_needs_enough_data(self):
+        bm = BatchMeans(n_batches=10)
+        for x in range(5):
+            bm.add(float(x))
+        with pytest.raises(SimulationError):
+            bm.interval()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ParameterError):
+            BatchMeans(n_batches=1)
+
+    def test_invalid_level(self):
+        bm = BatchMeans(n_batches=2)
+        for x in range(10):
+            bm.add(float(x))
+        with pytest.raises(ParameterError):
+            bm.interval(level=1.5)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(SimulationError):
+            _ = BatchMeans().mean
+
+
+class TestConfidenceInterval:
+    def test_bounds_and_contains(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, level=0.95)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+        assert ci.contains(10.0) and ci.contains(8.0) and ci.contains(12.0)
+        assert not ci.contains(7.9)
+
+    def test_str(self):
+        text = str(ConfidenceInterval(1.0, 0.1, 0.95))
+        assert "95%" in text and "±" in text

@@ -1,0 +1,91 @@
+"""Tests for the beyond-paper studies (repro.experiments.studies)."""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.experiments.studies import (
+    run_policy_gap,
+    run_preload,
+    run_sensitivity,
+    run_service_law,
+    run_sim_validation,
+    run_solver_agreement,
+)
+from repro.workloads.paper import TABLE1_T_PRIME, TABLE2_T_PRIME
+
+
+class TestSolverAgreement:
+    def test_all_backends_hit_published_values(self):
+        study = run_solver_agreement()
+        assert len(study.rows) == 6
+        for disc, method, t in study.rows:
+            expected = TABLE1_T_PRIME if disc == "fcfs" else TABLE2_T_PRIME
+            assert t == pytest.approx(expected, abs=5e-7), (disc, method)
+
+    def test_render(self):
+        text = run_solver_agreement().render()
+        assert "0.8964703" in text and "0.9209392" in text
+
+
+class TestPolicyGap:
+    def test_structure(self):
+        study = run_policy_gap(load_fractions=(0.3, 0.8))
+        assert len(study.comparisons) == 2
+        for comp in study.comparisons:
+            assert comp.optimal.degradation == pytest.approx(1.0)
+
+    def test_render_mentions_policies(self):
+        text = run_policy_gap(load_fractions=(0.5,)).render()
+        assert "optimal" in text
+        assert "spare-proportional" in text
+        assert "response-time-balancing" in text
+
+
+class TestPreloadStudy:
+    def test_exact_estimate_anchors_regret(self):
+        study = run_preload(true_fractions=(0.3, 0.45))
+        by_y = dict(study.rows)
+        assert by_y[0.3].regret == pytest.approx(1.0, rel=1e-9)
+        assert by_y[0.45].regret >= 1.0
+
+    def test_render(self):
+        text = run_preload(true_fractions=(0.3,)).render()
+        assert "assumed y = 0.30" in text and "regret" in text
+
+
+class TestSensitivityStudy:
+    def test_signs_and_amplification(self):
+        study = run_sensitivity(load_fractions=(0.3, 0.8))
+        assert len(study.rows) == 2
+        for _, rep in study.rows:
+            assert np.all(rep.d_special >= 0.0)
+            assert np.all(rep.d_speed <= 0.0)
+            assert rep.d_rbar > 0.0
+        lo, hi = study.rows[0][1], study.rows[1][1]
+        assert hi.d_rbar > lo.d_rbar  # levers amplify with load
+
+    def test_render(self):
+        text = run_sensitivity(load_fractions=(0.5,)).render()
+        assert "dT'/drbar" in text and "50% of saturation" in text
+
+
+class TestSimulationBackedStudies:
+    """Slower studies exercised once with tiny budgets."""
+
+    def test_service_law_shape(self):
+        study = run_service_law(load_fraction=0.6, seed=3)
+        drifts = [r.drift for r in study.reports]
+        # Deterministic < ... < hyperexponential; exponential near 1.
+        assert drifts[0] < drifts[-1]
+        assert drifts[2] == pytest.approx(1.0, abs=0.1)
+        assert "SCV" in study.render()
+
+    def test_sim_validation_agrees(self):
+        study = run_sim_validation(replications=2, horizon=3_000.0)
+        assert len(study.reports) == 2
+        for disc, rep in study.reports:
+            assert rep.relative_error < 0.08, (disc, rep.render())
+        assert "analytic" in study.render()

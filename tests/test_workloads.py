@@ -1,0 +1,170 @@
+"""Unit tests for repro.workloads (groups, sweeps, heterogeneity, paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ParameterError
+from repro.workloads import (
+    EXAMPLE_TOTAL_RATE,
+    example_group,
+    example_instance,
+    coefficient_of_variation,
+    paper_sizes,
+    paper_speeds,
+    requirement_impact_groups,
+    scaled_size_group,
+    scaled_speed_group,
+    shared_sweep,
+    size_cv,
+    size_heterogeneity_groups,
+    size_impact_groups,
+    special_load_impact_groups,
+    speed_cv,
+    speed_heterogeneity_groups,
+    speed_impact_groups,
+    sweep_rates,
+)
+
+
+class TestPaperVectors:
+    def test_sizes(self):
+        assert paper_sizes() == [2, 4, 6, 8, 10, 12, 14]
+
+    def test_speeds_default(self):
+        speeds = paper_speeds()
+        assert speeds[0] == pytest.approx(1.6)
+        assert speeds[-1] == pytest.approx(1.0)
+
+    def test_speeds_invalid_offset(self):
+        with pytest.raises(ParameterError):
+            paper_speeds(0.5)
+
+    def test_example_group_matches_example1(self):
+        g = example_group()
+        assert g.max_generic_rate == pytest.approx(47.04)
+        assert EXAMPLE_TOTAL_RATE == pytest.approx(0.5 * g.max_generic_rate)
+
+    def test_example_instance(self):
+        g, lam, disc = example_instance("priority")
+        assert lam == EXAMPLE_TOTAL_RATE
+        assert disc.value == "priority"
+
+
+class TestFigureFamilies:
+    def test_size_impact_totals(self):
+        totals = [g.total_blades for g in size_impact_groups()]
+        assert totals == [49, 53, 56, 59, 63]
+
+    def test_speed_impact_offsets(self):
+        groups = speed_impact_groups()
+        assert len(groups) == 5
+        firsts = [g.speeds[0] for g in groups]
+        assert firsts == pytest.approx([1.4, 1.5, 1.6, 1.7, 1.8])
+
+    def test_requirement_impact_rbars(self):
+        rbars = [g.rbar for g in requirement_impact_groups()]
+        assert rbars == pytest.approx([0.8, 0.9, 1.0, 1.1, 1.2])
+
+    def test_special_load_fractions(self):
+        groups = special_load_impact_groups()
+        for g, y in zip(groups, (0.20, 0.25, 0.30, 0.35, 0.40)):
+            assert np.allclose(g.special_utilizations, y)
+
+    def test_size_heterogeneity_invariants(self):
+        groups = size_heterogeneity_groups()
+        for g in groups:
+            assert g.total_blades == 56
+            assert np.allclose(g.speeds, 1.3)
+            # Paper: total special rate is 21.84 for every group.
+            assert g.special_rates.sum() == pytest.approx(21.84)
+        cvs = [size_cv(g) for g in groups]
+        assert cvs == sorted(cvs, reverse=True)  # decreasing heterogeneity
+        assert cvs[-1] == 0.0  # Group 5 homogeneous
+
+    def test_speed_heterogeneity_invariants(self):
+        groups = speed_heterogeneity_groups()
+        for g in groups:
+            assert np.all(g.sizes == 8)
+            assert g.total_speed == pytest.approx(72.8)
+            assert g.special_rates.sum() == pytest.approx(21.84)
+        cvs = [speed_cv(g) for g in groups]
+        assert cvs == sorted(cvs, reverse=True)
+        assert cvs[-1] == 0.0
+
+    def test_equal_saturation_within_heterogeneity_families(self):
+        # Same aggregate capacity and same preload -> same lambda'_max.
+        for family in (size_heterogeneity_groups(), speed_heterogeneity_groups()):
+            caps = [g.max_generic_rate for g in family]
+            assert np.allclose(caps, caps[0])
+
+
+class TestSweeps:
+    def test_sweep_rates_bounds(self, paper_group):
+        grid = sweep_rates(paper_group, points=10)
+        assert len(grid) == 10
+        assert grid[0] == pytest.approx(0.02 * paper_group.max_generic_rate)
+        assert grid[-1] == pytest.approx(0.95 * paper_group.max_generic_rate)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_shared_sweep_uses_smallest_capacity(self):
+        groups = size_impact_groups()
+        grid = shared_sweep(groups, points=5)
+        smallest = min(g.max_generic_rate for g in groups)
+        assert grid[-1] == pytest.approx(0.95 * smallest)
+        # Every group can serve every grid point.
+        for g in groups:
+            assert grid[-1] < g.max_generic_rate
+
+    def test_validation(self, paper_group):
+        with pytest.raises(ParameterError):
+            sweep_rates(paper_group, points=1)
+        with pytest.raises(ParameterError):
+            sweep_rates(paper_group, lo_fraction=0.5, hi_fraction=0.4)
+        with pytest.raises(ParameterError):
+            shared_sweep([])
+
+
+class TestHeterogeneityTools:
+    def test_cv_basics(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+        assert coefficient_of_variation([0, 10]) == pytest.approx(1.0)
+        with pytest.raises(ParameterError):
+            coefficient_of_variation([])
+        with pytest.raises(ParameterError):
+            coefficient_of_variation([-1, 1])
+
+    def test_scaled_size_group_total_preserved(self):
+        for spread in (0.0, 0.3, 0.7, 1.0):
+            g = scaled_size_group(7, 56, spread)
+            assert g.total_blades == 56
+            assert np.all(g.sizes >= 1)
+
+    def test_scaled_size_group_monotone_cv(self):
+        cvs = [size_cv(scaled_size_group(7, 56, s)) for s in (0.0, 0.4, 0.8)]
+        assert cvs[0] == 0.0
+        assert cvs == sorted(cvs)
+
+    def test_scaled_speed_group_total_preserved(self):
+        for spread in (0.0, 0.5, 0.9):
+            g = scaled_speed_group(7, 9.1, spread)
+            assert float(g.speeds.sum()) == pytest.approx(9.1)
+            assert np.all(g.speeds > 0)
+
+    def test_scaled_speed_group_monotone_cv(self):
+        cvs = [speed_cv(scaled_speed_group(7, 9.1, s)) for s in (0.0, 0.4, 0.8)]
+        assert cvs[0] == 0.0
+        assert cvs == sorted(cvs)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            scaled_size_group(0, 10, 0.5)
+        with pytest.raises(ParameterError):
+            scaled_size_group(5, 3, 0.5)  # fewer blades than servers
+        with pytest.raises(ParameterError):
+            scaled_size_group(5, 10, 1.5)
+        with pytest.raises(ParameterError):
+            scaled_speed_group(5, 10.0, 1.0)  # spread=1 -> zero speed
+        with pytest.raises(ParameterError):
+            scaled_speed_group(5, 0.0, 0.5)

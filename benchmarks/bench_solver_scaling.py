@@ -1,0 +1,146 @@
+"""Scaling study: scalar ``paper-bisection`` vs. the vectorized backend.
+
+Times both nested-bisection implementations on heterogeneous groups of
+n ∈ {7, 50, 500, 2000} servers and over the Figs. 4–15 sweep
+workloads.  The scalar transcription is O(n) Python calls per marginal
+sweep; the batched backend advances all per-server brackets as arrays,
+so the gap widens with n.  Acceptance: the vectorized backend matches
+the scalar rates to ≤1e-9 and is ≥5x faster at n = 500.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.server import BladeServerGroup
+from repro.core.solvers import optimize_load_distribution
+from repro.workloads.groups import (
+    size_impact_groups,
+    special_load_impact_groups,
+    speed_heterogeneity_groups,
+)
+from repro.workloads.sweeps import shared_sweep, solve_sweep
+from repro.workloads.paper import EXAMPLE_TOTAL_RATE, TABLE1_T_PRIME
+from repro.workloads import example_group
+
+from conftest import FIGURE_POINTS
+
+#: Solver tolerance used throughout the scaling study (1e-12 would only
+#: add outer iterations without changing the scalar/vectorized ratio).
+TOL = 1e-9
+
+SIZES = (7, 50, 500, 2000)
+
+
+def scaling_group(n: int) -> BladeServerGroup:
+    """Heterogeneous n-server group: sizes cycle 1..16, speeds 0.6..1.79."""
+    if n == 7:
+        return example_group()
+    return BladeServerGroup.with_special_fraction(
+        sizes=[1 + (i % 16) for i in range(n)],
+        speeds=[0.6 + 0.01 * (i % 120) for i in range(n)],
+        fraction=0.3,
+    )
+
+
+def _solve(method: str, n: int):
+    group = scaling_group(n)
+    lam = 0.6 * group.max_generic_rate if n != 7 else EXAMPLE_TOTAL_RATE
+    return optimize_load_distribution(
+        group, lam, "fcfs", method, tol=TOL
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("method", ["bisection", "vectorized"])
+def test_backend_scaling(run_once, method, n):
+    """One cold solve per (backend, n); compare medians across params."""
+    result = run_once(_solve, method, n)
+    assert result.converged
+    if n == 7:
+        assert abs(result.mean_response_time - TABLE1_T_PRIME) < 5e-7
+    print(
+        f"\n{method} n={n}: T' = {result.mean_response_time:.7f}, "
+        f"iterations = {result.iterations}"
+    )
+
+
+def test_vectorized_5x_speedup_and_agreement_at_500():
+    """The acceptance gate: >= 5x at n = 500 with rates within 1e-9."""
+    group = scaling_group(500)
+    lam = 0.6 * group.max_generic_rate
+    t0 = time.perf_counter()
+    scalar = optimize_load_distribution(group, lam, "fcfs", "bisection", tol=TOL)
+    t_scalar = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vec = optimize_load_distribution(group, lam, "fcfs", "vectorized", tol=TOL)
+    t_vec = time.perf_counter() - t0
+    speedup = t_scalar / t_vec
+    print(
+        f"\nn=500: scalar {t_scalar:.3f}s, vectorized {t_vec:.3f}s "
+        f"({speedup:.1f}x)"
+    )
+    np.testing.assert_allclose(
+        vec.generic_rates, scalar.generic_rates, atol=1e-9
+    )
+    assert speedup >= 5.0, f"only {speedup:.1f}x at n=500"
+
+
+#: One representative figure family per parameter axis (sizes, preload,
+#: speed heterogeneity); together they cover the fig04–15 sweep shapes.
+FIGURE_FAMILIES = {
+    "fig04-05": size_impact_groups,
+    "fig10-11": special_load_impact_groups,
+    "fig14-15": speed_heterogeneity_groups,
+}
+
+
+@pytest.mark.parametrize("family", sorted(FIGURE_FAMILIES))
+def test_figure_sweep_scalar_vs_vectorized(family):
+    """Both backends over one figure family's shared sweep grid."""
+    groups = FIGURE_FAMILIES[family]()
+    rates = shared_sweep(groups, points=FIGURE_POINTS)
+    timings = {}
+    curves = {}
+    for method in ("bisection", "vectorized"):
+        t0 = time.perf_counter()
+        curves[method] = [
+            [r.mean_response_time for r in solve_sweep(g, rates, "fcfs", method, tol=TOL)]
+            for g in groups
+        ]
+        timings[method] = time.perf_counter() - t0
+    print(
+        f"\n{family}: scalar {timings['bisection']:.2f}s, "
+        f"vectorized {timings['vectorized']:.2f}s over "
+        f"{len(groups)}x{len(rates)} solves"
+    )
+    np.testing.assert_allclose(
+        curves["vectorized"], curves["bisection"], rtol=1e-7
+    )
+
+
+@pytest.mark.parametrize("n", [200, 1000])
+def test_warm_start_beats_cold_start(run_once, n):
+    """phi warm starting across a load sweep vs. cold solves."""
+    group = scaling_group(n)
+    rates = np.linspace(0.1, 0.9, 10) * group.max_generic_rate
+    t0 = time.perf_counter()
+    cold = solve_sweep(
+        group, rates, "fcfs", "vectorized", warm_start=False, tol=TOL
+    )
+    t_cold = time.perf_counter() - t0
+    warm = run_once(
+        solve_sweep, group, rates, "fcfs", "vectorized", tol=TOL
+    )
+    evals_cold = sum(r.metadata["inner_solver_calls"] for r in cold)
+    evals_warm = sum(r.metadata["inner_solver_calls"] for r in warm)
+    print(
+        f"\nn={n} sweep: cold {t_cold:.2f}s / {evals_cold} inner calls, "
+        f"warm {evals_warm} inner calls"
+    )
+    assert evals_warm < evals_cold
+    for w, c in zip(warm, cold):
+        assert abs(w.mean_response_time - c.mean_response_time) < 1e-9

@@ -22,8 +22,7 @@ import numpy as np
 from ..core.exceptions import ParameterError
 from ..core.response import Discipline
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution
-from ..workloads.sweeps import shared_sweep
+from ..workloads.sweeps import shared_sweep, solve_sweep
 
 __all__ = ["FigureSeries", "build_figure"]
 
@@ -110,6 +109,7 @@ def build_figure(
     hi_fraction: float = 0.95,
     method: str = "kkt",
     rates: np.ndarray | None = None,
+    warm_start: bool = True,
 ) -> FigureSeries:
     """Reproduce one paper figure.
 
@@ -128,6 +128,10 @@ def build_figure(
         Solver backend used at every grid point.
     rates:
         Optional explicit ``lambda'`` grid overriding the shared sweep.
+    warm_start:
+        Reuse each point's converged multiplier to bracket the next one
+        (bisection-family backends only; see
+        :func:`~repro.workloads.sweeps.solve_sweep`).
     """
     if len(groups) != len(labels):
         raise ParameterError(
@@ -142,10 +146,10 @@ def build_figure(
         rates = np.asarray(rates, dtype=float)
     values = np.empty((len(groups), len(rates)))
     for i, group in enumerate(groups):
-        for j, lam in enumerate(rates):
-            values[i, j] = optimize_load_distribution(
-                group, float(lam), disc, method
-            ).mean_response_time
+        results = solve_sweep(
+            group, rates, disc, method=method, warm_start=warm_start
+        )
+        values[i] = [r.mean_response_time for r in results]
     return FigureSeries(
         figure_id=figure_id,
         discipline=disc,

@@ -6,12 +6,13 @@ Public surface:
 * :class:`~repro.core.server.BladeServer`,
   :class:`~repro.core.server.BladeServerGroup` — the domain model.
 * :func:`~repro.core.solvers.optimize_load_distribution` — the solver
-  façade (paper bisection / KKT / SLSQP / closed forms).
+  façade (paper bisection / KKT / SLSQP / closed forms / batched
+  vectorized bisection).
 * :class:`~repro.core.response.Discipline` — FCFS vs. priority.
 * :class:`~repro.core.result.LoadDistributionResult` — solver output.
 """
 
-from .bisection import calculate_t_prime, find_lambda_i
+from .bisection import calculate_t_prime, find_lambda_i, settle_residual
 from .bounds import bound_gap, lower_bound, upper_bound
 from .constrained import solve_capped
 from .distributions import (
@@ -61,6 +62,13 @@ from .response import (
 from .result import LoadDistributionResult
 from .server import BladeServer, BladeServerGroup
 from .solvers import available_methods, optimize_load_distribution
+from .vectorized import (
+    find_lambda_batched,
+    marginal_cost_vec,
+    p_zero_vec,
+    solve_vectorized,
+    waiting_factor_vec,
+)
 
 __all__ = [
     "AdmissionResult",
@@ -95,24 +103,30 @@ __all__ = [
     "d_generic_response_time_drho",
     "erlang_b",
     "erlang_c",
+    "find_lambda_batched",
     "find_lambda_i",
     "generic_response_time",
     "generic_response_time_rho",
     "generic_waiting_time",
     "gradient",
     "marginal_cost",
+    "marginal_cost_vec",
     "mmm_mean_queue_length",
     "mmm_response_time",
     "objective",
     "optimize_load_distribution",
     "p_k",
     "p_zero",
+    "p_zero_vec",
     "server_marginal",
+    "settle_residual",
     "solve_closed_form",
     "solve_closed_form_fcfs",
     "solve_closed_form_priority",
     "solve_kkt",
     "solve_nlp",
+    "solve_vectorized",
     "special_waiting_time",
     "waiting_factor",
+    "waiting_factor_vec",
 ]

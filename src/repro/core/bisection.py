@@ -33,7 +33,7 @@ since its lower bound is pinned at 0.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Callable
 
 import numpy as np
 
@@ -43,7 +43,12 @@ from .response import Discipline
 from .result import LoadDistributionResult
 from .server import BladeServerGroup
 
-__all__ = ["find_lambda_i", "calculate_t_prime", "solve_bisection"]
+__all__ = [
+    "find_lambda_i",
+    "calculate_t_prime",
+    "solve_bisection",
+    "settle_residual",
+]
 
 #: Default interval-width tolerance (the paper's ``epsilon``).
 DEFAULT_TOL = 1e-12
@@ -58,6 +63,110 @@ STABILITY_MARGIN = 1e-12
 #: Hard cap on doubling/bisection iterations; generous enough that hitting
 #: it indicates a genuinely ill-posed instance rather than slow progress.
 MAX_ITER = 20_000
+
+
+def settle_residual(
+    rates: np.ndarray, total_rate: float, caps: np.ndarray
+) -> np.ndarray:
+    """Rescale ``rates`` to sum to ``total_rate`` without breaching ``caps``.
+
+    The paper's algorithm leaves an ``epsilon`` slack between
+    ``sum_i lambda'_i`` and the requested total; the obvious fix —
+    multiplying every rate by ``total_rate / sum``  — can push a server
+    that the bisection already pinned at its stability cap *past* the
+    cap, making the otherwise-feasible solution evaluate as saturated.
+    This projection instead distributes the shortfall only across
+    servers with headroom, clipping at ``caps``:
+
+    * ``sum >= total_rate``: plain proportional scale-down (never
+      violates a cap and preserves the historical behaviour).
+    * ``sum < total_rate``: the shortfall is spread proportionally to
+      the current rates of un-capped servers (matching the proportional
+      rescale whenever no cap binds) and re-spread after each clipping
+      event; at most ``n`` passes are needed since every pass either
+      clears the shortfall or pins another server.
+
+    When ``total_rate`` exceeds ``sum(caps)`` (possible only within the
+    solver's own stability margin of the saturation point) the closest
+    feasible vector — every server at its cap — is returned.
+    """
+    rates = np.minimum(np.asarray(rates, dtype=float), caps)
+    s = float(rates.sum())
+    if s <= 0.0:
+        return rates
+    if s >= total_rate:
+        return rates * (total_rate / s)
+    for _ in range(rates.size + 1):
+        shortfall = total_rate - float(rates.sum())
+        if shortfall <= 0.0:
+            break
+        headroom = caps - rates
+        free = headroom > 0.0
+        if not free.any():
+            break
+        weights = np.where(free, rates, 0.0)
+        wsum = float(weights.sum())
+        if wsum <= 0.0:
+            # Only zero-rate servers have headroom left; spread by headroom.
+            weights = np.where(free, headroom, 0.0)
+            wsum = float(weights.sum())
+        rates = np.minimum(rates + shortfall * (weights / wsum), caps)
+    return rates
+
+
+def _bracket_phi(
+    sum_at: Callable[[float], float],
+    total_rate: float,
+    phi_hint: float | None,
+) -> tuple[float, float, int]:
+    """Bracket the outer multiplier: ``F(lb) < total_rate <= F(ub)``.
+
+    Cold start reproduces the paper's Fig. 3 doubling from the seed,
+    except that every ``phi`` proven too small is carried into ``lb``
+    (the pseudo-code leaves ``lb = 0``, wasting roughly half of the
+    subsequent bisection iterations re-deriving what the doubling
+    already established).  With ``phi_hint`` — e.g. the converged
+    multiplier of the previous point of a load sweep — the bracket
+    grows (or shrinks) multiplicatively from the hint instead, which
+    typically needs only a couple of ``F`` evaluations.
+
+    Returns ``(lb, ub, evaluations)``.
+    """
+    if phi_hint is not None and math.isfinite(phi_hint) and phi_hint > 0.0:
+        lb, ub, evals = 0.0, float(phi_hint), 0
+        for _ in range(MAX_ITER):
+            evals += 1
+            if sum_at(ub) >= total_rate:
+                break
+            lb = ub
+            ub *= 2.0
+        else:  # pragma: no cover - defensive
+            raise ConvergenceError("failed to bracket phi from the hint")
+        if lb == 0.0:
+            # The hint itself was already sufficient; probe downward so
+            # the bisection starts from a tight two-sided bracket.
+            lo = 0.5 * ub
+            for _ in range(MAX_ITER):
+                if lo <= DEFAULT_SEED:
+                    break
+                evals += 1
+                if sum_at(lo) < total_rate:
+                    lb = lo
+                    break
+                ub = lo
+                lo *= 0.5
+        return lb, ub, evals
+    # Lines (1)-(10) of Fig. 3: double phi from the seed until F >= lambda'.
+    lb, ub, evals = 0.0, DEFAULT_SEED, 0
+    for _ in range(MAX_ITER):
+        evals += 1
+        ub *= 2.0
+        if sum_at(ub) >= total_rate:
+            break
+        lb = ub
+    else:  # pragma: no cover - defensive
+        raise ConvergenceError("calculate_t_prime failed to bracket phi")
+    return lb, ub, evals
 
 
 def find_lambda_i(
@@ -107,7 +216,10 @@ def find_lambda_i(
         return 0.0
 
     # Lines (1)-(8): double ub until the marginal exceeds phi, clipping
-    # at the stability boundary.
+    # at the stability boundary.  Each rejected ub is carried into lb:
+    # ``g(ub) < phi`` proves the root lies above ub, so starting the
+    # bisection from the last failing bound instead of 0 (as the
+    # pseudo-code does) halves the iterations to a given tolerance.
     lb = 0.0
     ub = DEFAULT_SEED
     hard_cap = (1.0 - STABILITY_MARGIN) * cap
@@ -121,6 +233,7 @@ def find_lambda_i(
             # (possible only with extremely large phi targets); the paper
             # clips here and the caller's outer bisection compensates.
             return hard_cap
+        lb = ub
         ub *= 2.0
     else:  # pragma: no cover - defensive
         raise ConvergenceError("find_lambda_i failed to bracket the root")
@@ -142,12 +255,22 @@ def calculate_t_prime(
     total_rate: float,
     discipline: Discipline | str = Discipline.FCFS,
     tol: float = DEFAULT_TOL,
+    phi_hint: float | None = None,
 ) -> LoadDistributionResult:
     """Paper Fig. 3: the full nested-bisection optimizer.
 
     Finds the multiplier ``phi`` whose induced per-server rates sum to
     ``total_rate``, then evaluates the optimal distribution and the
     minimized mean response time ``T'``.
+
+    Parameters
+    ----------
+    phi_hint:
+        Optional warm start for the multiplier search (an extension
+        beyond the paper): the bracket grows multiplicatively from the
+        hint instead of doubling from the seed.  Load sweeps pass the
+        previous point's converged ``phi`` here (see
+        :func:`repro.workloads.sweeps.solve_sweep`).
 
     Raises
     ------
@@ -177,21 +300,17 @@ def calculate_t_prime(
             ]
         )
 
-    # Lines (1)-(10): double phi until F(phi) >= lambda'.
-    phi = DEFAULT_SEED
-    iterations = 0
-    for _ in range(MAX_ITER):
-        iterations += 1
-        phi *= 2.0
-        if rates_for(phi).sum() >= total_rate:
-            break
-    else:  # pragma: no cover - defensive
-        raise ConvergenceError("calculate_t_prime failed to bracket phi")
+    def sum_at(phi: float) -> float:
+        return float(rates_for(phi).sum())
 
-    # Lines (11)-(27): bisect phi in [0, ub].  The termination tolerance
+    # Lines (1)-(10): bracket phi — doubling from the seed (or growing
+    # from the warm-start hint), carrying every proven-failing phi into
+    # the lower bound.
+    lb, ub, iterations = _bracket_phi(sum_at, total_rate, phi_hint)
+
+    # Lines (11)-(27): bisect phi in [lb, ub].  The termination tolerance
     # is scaled by phi's magnitude so very flat or very steep instances
     # converge to the same relative accuracy.
-    lb, ub = 0.0, phi
     phi_tol = tol * max(1.0, ub)
     for _ in range(MAX_ITER):
         iterations += 1
@@ -204,8 +323,9 @@ def calculate_t_prime(
             ub = middle
     phi = 0.5 * (lb + ub)
 
-    # Lines (28)-(36): final rates and T'.  Rescale the tiny residual so
-    # the constraint holds exactly (the paper leaves an epsilon slack).
+    # Lines (28)-(36): final rates and T'.  Settle the tiny residual so
+    # the constraint holds exactly (the paper leaves an epsilon slack)
+    # without pushing a cap-pinned server past its stability point.
     rates = rates_for(phi)
     if rates.sum() == 0.0:
         # The midpoint fell below every server's zero-load marginal
@@ -214,9 +334,8 @@ def calculate_t_prime(
         # invariant guarantees F(ub) >= lambda' > 0, so evaluate there.
         phi = ub
         rates = rates_for(phi)
-    s = rates.sum()
-    if s > 0.0:
-        rates = rates * (total_rate / s)
+    hard_caps = (1.0 - STABILITY_MARGIN) * group.spare_capacities
+    rates = settle_residual(rates, total_rate, hard_caps)
     t_prime = group.mean_response_time(rates, disc)
     return LoadDistributionResult(
         generic_rates=rates,
@@ -236,6 +355,7 @@ def solve_bisection(
     total_rate: float,
     discipline: Discipline | str = Discipline.FCFS,
     tol: float = DEFAULT_TOL,
+    phi_hint: float | None = None,
 ) -> LoadDistributionResult:
     """Alias for :func:`calculate_t_prime` under the solver-naming scheme."""
-    return calculate_t_prime(group, total_rate, discipline, tol)
+    return calculate_t_prime(group, total_rate, discipline, tol, phi_hint)

@@ -156,10 +156,9 @@ def p_zero(m: int, rho: float) -> float:
             term /= scale
             total = 1.0
             return _p_zero_rescaled(m, rho, k, term, total, math.log(scale))
-    term_m = term * a / m if m > 1 else 1.0 * a / 1.0
-    if m == 1:
-        # sum_{k=0}^{0} = 1; tail term a^1/1!/(1-rho) = a/(1-rho)
-        term_m = a
+    # Tail term a^m/m!: the recurrence leaves term = a^{m-1}/(m-1)!, so one
+    # more step covers every m >= 1 (for m = 1 it reduces to a itself).
+    term_m = term * a / m
     total += term_m / (1.0 - rho)
     return 1.0 / total
 

@@ -8,10 +8,13 @@ backend by name:
 method             backend
 =================  ==========================================================
 ``"bisection"``    paper's nested bisection (Figs. 2–3), the reference
-``"kkt"``          Brent-based water-filling (default: fastest, same answer)
+``"kkt"``          Brent-based water-filling (same answer, fast for small n)
 ``"slsqp"``        scipy SLSQP on the constrained simplex
 ``"closed-form"``  Theorems 1/3 (requires all ``m_i = 1``)
-``"auto"``         ``closed-form`` when all sizes are 1, else ``kkt``
+``"vectorized"``   batched NumPy bisection — all servers advance together
+                   (fastest for large n; supports ``phi_hint`` warm starts)
+``"auto"``         ``closed-form`` when all sizes are 1, ``vectorized`` for
+                   large groups (n >= 64), else ``kkt``
 =================  ==========================================================
 """
 
@@ -27,8 +30,9 @@ from .nlp import solve_nlp
 from .response import Discipline
 from .result import LoadDistributionResult
 from .server import BladeServerGroup
+from .vectorized import solve_vectorized
 
-__all__ = ["optimize_load_distribution", "available_methods"]
+__all__ = ["optimize_load_distribution", "available_methods", "resolve_method"]
 
 _Solver = Callable[..., LoadDistributionResult]
 
@@ -37,12 +41,39 @@ _METHODS: dict[str, _Solver] = {
     "kkt": solve_kkt,
     "slsqp": solve_nlp,
     "closed-form": solve_closed_form,
+    "vectorized": solve_vectorized,
 }
+
+#: Group size at which ``"auto"`` switches from the scalar KKT solver to
+#: the batched vectorized backend (crossover measured in
+#: ``benchmarks/bench_solver_scaling.py``).
+AUTO_VECTORIZED_THRESHOLD = 64
 
 
 def available_methods() -> tuple[str, ...]:
     """Names accepted by ``optimize_load_distribution(..., method=...)``."""
     return tuple(_METHODS) + ("auto",)
+
+
+def resolve_method(group: BladeServerGroup, method: str = "auto") -> str:
+    """Concrete backend name for ``method`` on ``group``.
+
+    Resolves ``"auto"`` (closed form for all-``m_i = 1`` groups, the
+    vectorized backend from :data:`AUTO_VECTORIZED_THRESHOLD` servers
+    up, KKT otherwise) and validates explicit names.
+    """
+    name = method.lower()
+    if name == "auto":
+        if all(srv.size == 1 for srv in group.servers):
+            return "closed-form"
+        if len(group.servers) >= AUTO_VECTORIZED_THRESHOLD:
+            return "vectorized"
+        return "kkt"
+    if name not in _METHODS:
+        raise ParameterError(
+            f"unknown method {method!r}; available: {available_methods()}"
+        )
+    return name
 
 
 def optimize_load_distribution(
@@ -67,7 +98,9 @@ def optimize_load_distribution(
         ``"priority"`` (Section 4).
     method:
         Solver backend; see module docstring.  ``"auto"`` picks the
-        closed form when it applies, otherwise the Brent/KKT solver.
+        closed form when it applies, the batched vectorized backend for
+        groups of ``AUTO_VECTORIZED_THRESHOLD`` or more servers, and the
+        Brent/KKT solver otherwise.
     **solver_kwargs:
         Passed through to the backend (e.g. ``tol`` for bisection).
 
@@ -84,16 +117,5 @@ def optimize_load_distribution(
     ParameterError
         On an unknown method name or invalid inputs.
     """
-    name = method.lower()
-    if name == "auto":
-        if all(srv.size == 1 for srv in group.servers):
-            name = "closed-form"
-        else:
-            name = "kkt"
-    try:
-        solver = _METHODS[name]
-    except KeyError:
-        raise ParameterError(
-            f"unknown method {method!r}; available: {available_methods()}"
-        ) from None
+    solver = _METHODS[resolve_method(group, method)]
     return solver(group, total_rate, discipline, **solver_kwargs)

@@ -1,4 +1,4 @@
-"""Arrival-rate sweep grids for the paper's figures.
+"""Arrival-rate sweep grids — and sweep solving — for the paper's figures.
 
 Every figure plots the minimized ``T'`` against the total generic rate
 ``lambda'``.  The paper draws each curve up to (just short of) its
@@ -6,6 +6,12 @@ group's saturation point; when several groups share one figure the
 x-axis must be common, so the shared grid stops short of the *smallest*
 saturation point among the groups.  :func:`shared_sweep` encodes that
 convention.
+
+:func:`solve_sweep` evaluates one group over a grid and, for the
+bisection-family backends, warm-starts each point's multiplier bracket
+from the previous point's converged ``phi`` instead of re-doubling from
+the seed — ``phi`` varies smoothly along a sweep, so the previous value
+is an excellent bracket anchor.
 """
 
 from __future__ import annotations
@@ -15,9 +21,15 @@ from typing import Sequence
 import numpy as np
 
 from ..core.exceptions import ParameterError
+from ..core.response import Discipline
+from ..core.result import LoadDistributionResult
 from ..core.server import BladeServerGroup
+from ..core.solvers import optimize_load_distribution, resolve_method
 
-__all__ = ["sweep_rates", "shared_sweep"]
+__all__ = ["sweep_rates", "shared_sweep", "solve_sweep", "WARM_STARTABLE"]
+
+#: Backends whose solver accepts a ``phi_hint`` warm start.
+WARM_STARTABLE = frozenset({"bisection", "vectorized"})
 
 
 def sweep_rates(
@@ -60,6 +72,55 @@ def shared_sweep(
     _check(points, lo_fraction, hi_fraction)
     cap = min(g.max_generic_rate for g in groups)
     return np.linspace(lo_fraction * cap, hi_fraction * cap, points)
+
+
+def solve_sweep(
+    group: BladeServerGroup,
+    rates: Sequence[float],
+    discipline: Discipline | str = Discipline.FCFS,
+    method: str = "auto",
+    warm_start: bool = True,
+    **solver_kwargs,
+) -> list[LoadDistributionResult]:
+    """Solve one group at every ``lambda'`` of a sweep grid, in order.
+
+    For backends in :data:`WARM_STARTABLE` (``warm_start=True``), each
+    point after the first passes the previous point's converged ``phi``
+    as ``phi_hint``, so the solver brackets the new multiplier around
+    the old one instead of re-doubling from the cold-start seed.  The
+    results are identical to cold starts up to the solver tolerance;
+    only the bracketing work changes.
+
+    Parameters
+    ----------
+    group:
+        The server group to optimize.
+    rates:
+        Total generic arrival rates, one sweep point each.  Warm
+        starting works best when they are monotone (as the figure grids
+        are), but correctness does not depend on ordering.
+    discipline, method, **solver_kwargs:
+        Forwarded to
+        :func:`~repro.core.solvers.optimize_load_distribution`.
+    warm_start:
+        Disable to force every point onto the cold-start path (used by
+        benchmarks comparing the two).
+    """
+    name = resolve_method(group, method)
+    hintable = warm_start and name in WARM_STARTABLE
+    results: list[LoadDistributionResult] = []
+    hint: float | None = None
+    for rate in rates:
+        kwargs = dict(solver_kwargs)
+        if hintable and hint is not None:
+            kwargs["phi_hint"] = hint
+        result = optimize_load_distribution(
+            group, float(rate), discipline, method=name, **kwargs
+        )
+        if hintable:
+            hint = result.phi
+        results.append(result)
+    return results
 
 
 def _check(points: int, lo: float, hi: float) -> None:

@@ -116,6 +116,14 @@ class TestPZero:
         for rho in (0.2, 0.5, 0.9):
             assert p_zero(1, rho) == pytest.approx(1.0 - rho, rel=1e-12)
 
+    def test_single_server_closed_form_dense_grid(self):
+        # m = 1 runs through the same single tail-term expression as
+        # every other m (the old code special-cased it via a dead
+        # ternary); the result must still be the M/M/1 closed form
+        # p0 = 1 - rho to round-off over the whole utilization range.
+        for rho in [k / 128 for k in range(128)]:
+            assert p_zero(1, rho) == pytest.approx(1.0 - rho, rel=1e-14)
+
     def test_matches_direct(self):
         for m in (1, 2, 7, 14, 30):
             for rho in (0.05, 0.3, 0.6, 0.9, 0.99):

@@ -1,0 +1,261 @@
+"""Tests for the batched vectorized solver backend.
+
+Three layers: the array kernels against their scalar counterparts,
+the full solver against the published Tables 1–2 and the scalar
+``paper-bisection`` backend, and the registry / sweep integration
+(``method="vectorized"``, ``"auto"`` crossover, ``phi_hint`` warm
+starts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bisection import calculate_t_prime
+from repro.core.erlang import log_p_zero, p_zero
+from repro.core.objective import marginal_cost
+from repro.core.response import Discipline, waiting_factor
+from repro.core.server import BladeServerGroup
+from repro.core.solvers import (
+    available_methods,
+    optimize_load_distribution,
+    resolve_method,
+)
+from repro.core.vectorized import (
+    find_lambda_batched,
+    marginal_cost_vec,
+    p_zero_vec,
+    solve_vectorized,
+    waiting_factor_vec,
+)
+from repro.dispatch.optimal import OptimalPolicy
+from repro.workloads.paper import (
+    EXAMPLE_TOTAL_RATE,
+    TABLE1_RATES,
+    TABLE1_T_PRIME,
+    TABLE2_RATES,
+    TABLE2_T_PRIME,
+)
+from repro.workloads.sweeps import solve_sweep, sweep_rates
+
+DISCIPLINES = [Discipline.FCFS, Discipline.PRIORITY]
+
+
+def random_groups(count, max_servers=10, seed=1234):
+    """Seeded random feasible groups for cross-checks."""
+    rng = np.random.default_rng(seed)
+    groups = []
+    for _ in range(count):
+        n = int(rng.integers(2, max_servers + 1))
+        sizes = rng.integers(1, 16, n)
+        speeds = rng.uniform(0.4, 2.5, n)
+        fractions = rng.uniform(0.0, 0.5, n)
+        specials = fractions * sizes * speeds
+        groups.append(BladeServerGroup.from_arrays(sizes, speeds, specials))
+    return groups
+
+
+class TestKernels:
+    def test_p_zero_matches_scalar(self):
+        ms, rhos, expected = [], [], []
+        for m in (1, 2, 3, 7, 14, 30, 100, 250):
+            for rho in (0.0, 1e-9, 0.1, 0.5, 0.9, 0.999):
+                ms.append(m)
+                rhos.append(rho)
+                expected.append(p_zero(m, rho))
+        got = p_zero_vec(ms, rhos)
+        np.testing.assert_allclose(got, expected, rtol=1e-12)
+
+    def test_p_zero_m1_closed_form(self):
+        rhos = np.linspace(0.0, 0.99, 34)
+        got = p_zero_vec(np.ones(rhos.size, dtype=int), rhos)
+        np.testing.assert_allclose(got, 1.0 - rhos, rtol=1e-13)
+
+    def test_p_zero_rescale_path(self):
+        # Offered loads large enough that the partial sums pass the
+        # rescale threshold; the log-space scalar is the oracle.
+        ms = [1000, 2000, 5000]
+        rhos = [0.7, 0.8, 0.9]
+        got = p_zero_vec(ms, rhos)
+        expected = [np.exp(log_p_zero(m, r)) for m, r in zip(ms, rhos)]
+        np.testing.assert_allclose(got, expected, rtol=1e-9)
+
+    def test_waiting_factor_matches_scalar(self):
+        ms, rhos, expected = [], [], []
+        for m in (1, 2, 5, 14, 60):
+            for rho in (0.0, 0.2, 0.6, 0.95):
+                ms.append(m)
+                rhos.append(rho)
+                expected.append(waiting_factor(m, rho))
+        got = waiting_factor_vec(ms, rhos)
+        np.testing.assert_allclose(got, expected, rtol=1e-11)
+
+    @pytest.mark.parametrize("disc", DISCIPLINES)
+    def test_marginal_cost_matches_scalar(self, disc):
+        for group in random_groups(10, seed=99):
+            lam = 0.6 * group.max_generic_rate
+            rng = np.random.default_rng(7)
+            rates = rng.uniform(0.0, 0.8, group.n) * group.spare_capacities
+            got = marginal_cost_vec(
+                group.sizes,
+                group.xbars,
+                group.special_rates,
+                rates,
+                lam,
+                disc,
+            )
+            expected = [
+                marginal_cost(m, xb, sp, r, lam, disc)
+                for m, xb, sp, r in zip(
+                    group.sizes, group.xbars, group.special_rates, rates
+                )
+            ]
+            np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+    def test_saturated_utilization_raises(self):
+        from repro.core.exceptions import SaturationError
+
+        with pytest.raises(SaturationError):
+            p_zero_vec([2, 3], [0.5, 1.0])
+
+
+class TestBatchedInnerStep:
+    @pytest.mark.parametrize("disc", DISCIPLINES)
+    def test_bounds_hint_does_not_change_roots(self, disc, paper_group):
+        g = paper_group
+        lam = EXAMPLE_TOTAL_RATE
+        phi = 0.05
+        base = find_lambda_batched(
+            g.sizes, g.xbars, g.special_rates, lam, phi, disc, tol=1e-12
+        )
+        hinted = find_lambda_batched(
+            g.sizes,
+            g.xbars,
+            g.special_rates,
+            lam,
+            phi,
+            disc,
+            tol=1e-12,
+            lo=np.maximum(base - 1e-6, 0.0),
+            hi=base + 1e-6,
+        )
+        np.testing.assert_allclose(hinted, base, atol=1e-10)
+
+    def test_waterfilling_inactive_servers_get_zero(self, paper_group):
+        g = paper_group
+        # A multiplier below every zero-load marginal: nobody active.
+        rates = find_lambda_batched(
+            g.sizes, g.xbars, g.special_rates, EXAMPLE_TOTAL_RATE, 1e-12
+        )
+        assert np.all(rates == 0.0)
+
+
+class TestSolveVectorized:
+    @pytest.mark.parametrize(
+        "disc,t_ref,rates_ref",
+        [
+            (Discipline.FCFS, TABLE1_T_PRIME, TABLE1_RATES),
+            (Discipline.PRIORITY, TABLE2_T_PRIME, TABLE2_RATES),
+        ],
+        ids=["table1", "table2"],
+    )
+    def test_reproduces_paper_tables_to_seven_digits(
+        self, paper_group, disc, t_ref, rates_ref
+    ):
+        res = solve_vectorized(paper_group, EXAMPLE_TOTAL_RATE, disc)
+        assert f"{res.mean_response_time:.7f}" == f"{t_ref:.7f}"
+        np.testing.assert_allclose(res.generic_rates, rates_ref, atol=5e-8)
+        assert res.method == "vectorized-bisection"
+        assert res.converged
+
+    @pytest.mark.parametrize("disc", DISCIPLINES)
+    def test_matches_paper_bisection_on_random_instances(self, disc):
+        for group in random_groups(8, seed=2024):
+            lam = 0.7 * group.max_generic_rate
+            vec = solve_vectorized(group, lam, disc, tol=1e-12)
+            ref = calculate_t_prime(group, lam, disc, tol=1e-12)
+            np.testing.assert_allclose(
+                vec.generic_rates, ref.generic_rates, atol=1e-9
+            )
+            assert abs(vec.mean_response_time - ref.mean_response_time) < 1e-9
+
+    @pytest.mark.parametrize("disc", DISCIPLINES)
+    def test_warm_start_agrees_with_cold(self, paper_group, disc):
+        lams = sweep_rates(paper_group, points=6, hi_fraction=0.9)
+        hint = None
+        for lam in lams:
+            cold = solve_vectorized(paper_group, lam, disc, tol=1e-12)
+            warm = solve_vectorized(
+                paper_group, lam, disc, tol=1e-12, phi_hint=hint
+            )
+            hint = warm.phi
+            assert (
+                abs(warm.mean_response_time - cold.mean_response_time) < 1e-9
+            )
+            assert abs(sum(warm.generic_rates) - lam) < 1e-9 * max(1.0, lam)
+
+    def test_large_group_smoke(self):
+        sizes = [1 + (i % 16) for i in range(300)]
+        speeds = [0.6 + 0.01 * (i % 120) for i in range(300)]
+        group = BladeServerGroup.with_special_fraction(
+            sizes, speeds, fraction=0.3
+        )
+        lam = 0.6 * group.max_generic_rate
+        res = solve_vectorized(group, lam, tol=1e-9)
+        assert abs(sum(res.generic_rates) - lam) < 1e-6
+        assert np.all(res.utilizations < 1.0)
+
+
+class TestRegistryIntegration:
+    def test_vectorized_is_registered(self):
+        assert "vectorized" in available_methods()
+
+    def test_facade_dispatches_to_vectorized(self, paper_group):
+        res = optimize_load_distribution(
+            paper_group, EXAMPLE_TOTAL_RATE, method="vectorized"
+        )
+        assert res.method == "vectorized-bisection"
+
+    def test_auto_picks_vectorized_for_large_groups(self):
+        sizes = [2 + (i % 8) for i in range(80)]
+        speeds = [0.8 + 0.01 * i for i in range(80)]
+        group = BladeServerGroup.with_special_fraction(
+            sizes, speeds, fraction=0.2
+        )
+        assert resolve_method(group, "auto") == "vectorized"
+        res = optimize_load_distribution(
+            group, 0.5 * group.max_generic_rate, method="auto"
+        )
+        assert res.method == "vectorized-bisection"
+
+    def test_auto_keeps_kkt_for_small_groups(self, paper_group):
+        assert resolve_method(paper_group, "auto") == "kkt"
+
+    def test_dispatch_policy_accepts_vectorized(self, paper_group):
+        policy = OptimalPolicy(method="vectorized")
+        ref = OptimalPolicy(method="bisection")
+        split = policy.rates(paper_group, EXAMPLE_TOTAL_RATE, Discipline.FCFS)
+        expected = ref.rates(paper_group, EXAMPLE_TOTAL_RATE, Discipline.FCFS)
+        np.testing.assert_allclose(split, expected, atol=1e-7)
+
+
+class TestSolveSweep:
+    @pytest.mark.parametrize("method", ["bisection", "vectorized"])
+    def test_warm_sweep_matches_cold_sweep(self, paper_group, method):
+        lams = sweep_rates(paper_group, points=5, hi_fraction=0.85)
+        warm = solve_sweep(
+            paper_group, lams, method=method, warm_start=True, tol=1e-12
+        )
+        cold = solve_sweep(
+            paper_group, lams, method=method, warm_start=False, tol=1e-12
+        )
+        for w, c in zip(warm, cold):
+            assert abs(w.mean_response_time - c.mean_response_time) < 1e-9
+
+    def test_non_warmstartable_backend_still_works(self, paper_group):
+        lams = sweep_rates(paper_group, points=3, hi_fraction=0.8)
+        results = solve_sweep(paper_group, lams, method="kkt")
+        assert len(results) == 3
+        for res, lam in zip(results, lams):
+            assert abs(sum(res.generic_rates) - lam) < 1e-6

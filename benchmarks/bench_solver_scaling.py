@@ -6,6 +6,12 @@ workloads.  The scalar transcription is O(n) Python calls per marginal
 sweep; the batched backend advances all per-server brackets as arrays,
 so the gap widens with n.  Acceptance: the vectorized backend matches
 the scalar rates to ≤1e-9 and is ≥5x faster at n = 500.
+
+Pass ``--quick`` (registered in ``benchmarks/conftest.py``) for the CI
+smoke mode: every test still runs and every correctness assertion still
+holds, but group sizes and sweep grids shrink to seconds of work and
+the wall-clock speedup ratio — meaningless on loaded shared runners —
+is not asserted.
 """
 
 from __future__ import annotations
@@ -34,6 +40,9 @@ TOL = 1e-9
 
 SIZES = (7, 50, 500, 2000)
 
+#: Sizes kept in ``--quick`` mode (sub-second solves, both backends).
+QUICK_SIZES = (7, 50)
+
 
 def scaling_group(n: int) -> BladeServerGroup:
     """Heterogeneous n-server group: sizes cycle 1..16, speeds 0.6..1.79."""
@@ -56,8 +65,10 @@ def _solve(method: str, n: int):
 
 @pytest.mark.parametrize("n", SIZES)
 @pytest.mark.parametrize("method", ["bisection", "vectorized"])
-def test_backend_scaling(run_once, method, n):
+def test_backend_scaling(run_once, quick, method, n):
     """One cold solve per (backend, n); compare medians across params."""
+    if quick and n not in QUICK_SIZES:
+        pytest.skip(f"--quick: n = {n} exceeds the smoke sizes {QUICK_SIZES}")
     result = run_once(_solve, method, n)
     assert result.converged
     if n == 7:
@@ -68,9 +79,16 @@ def test_backend_scaling(run_once, method, n):
     )
 
 
-def test_vectorized_5x_speedup_and_agreement_at_500():
-    """The acceptance gate: >= 5x at n = 500 with rates within 1e-9."""
-    group = scaling_group(500)
+def test_vectorized_5x_speedup_and_agreement_at_500(quick):
+    """The acceptance gate: >= 5x at n = 500 with rates within 1e-9.
+
+    In ``--quick`` mode the agreement check runs at n = 128 (above the
+    ``"auto"`` vectorized threshold, seconds of work) and the speedup
+    ratio is reported but not asserted — timing ratios on shared CI
+    runners are noise.
+    """
+    n = 128 if quick else 500
+    group = scaling_group(n)
     lam = 0.6 * group.max_generic_rate
     t0 = time.perf_counter()
     scalar = optimize_load_distribution(group, lam, "fcfs", "bisection", tol=TOL)
@@ -80,13 +98,14 @@ def test_vectorized_5x_speedup_and_agreement_at_500():
     t_vec = time.perf_counter() - t0
     speedup = t_scalar / t_vec
     print(
-        f"\nn=500: scalar {t_scalar:.3f}s, vectorized {t_vec:.3f}s "
+        f"\nn={n}: scalar {t_scalar:.3f}s, vectorized {t_vec:.3f}s "
         f"({speedup:.1f}x)"
     )
     np.testing.assert_allclose(
         vec.generic_rates, scalar.generic_rates, atol=1e-9
     )
-    assert speedup >= 5.0, f"only {speedup:.1f}x at n=500"
+    if not quick:
+        assert speedup >= 5.0, f"only {speedup:.1f}x at n=500"
 
 
 #: One representative figure family per parameter axis (sizes, preload,
@@ -99,10 +118,14 @@ FIGURE_FAMILIES = {
 
 
 @pytest.mark.parametrize("family", sorted(FIGURE_FAMILIES))
-def test_figure_sweep_scalar_vs_vectorized(family):
+def test_figure_sweep_scalar_vs_vectorized(quick, family):
     """Both backends over one figure family's shared sweep grid."""
+    from conftest import QUICK_FIGURE_POINTS
+
     groups = FIGURE_FAMILIES[family]()
-    rates = shared_sweep(groups, points=FIGURE_POINTS)
+    rates = shared_sweep(
+        groups, points=QUICK_FIGURE_POINTS if quick else FIGURE_POINTS
+    )
     timings = {}
     curves = {}
     for method in ("bisection", "vectorized"):
@@ -123,8 +146,10 @@ def test_figure_sweep_scalar_vs_vectorized(family):
 
 
 @pytest.mark.parametrize("n", [200, 1000])
-def test_warm_start_beats_cold_start(run_once, n):
+def test_warm_start_beats_cold_start(run_once, quick, n):
     """phi warm starting across a load sweep vs. cold solves."""
+    if quick and n != 200:
+        pytest.skip("--quick: warm-start comparison runs at n = 200 only")
     group = scaling_group(n)
     rates = np.linspace(0.1, 0.9, 10) * group.max_generic_rate
     t0 = time.perf_counter()

@@ -17,6 +17,29 @@ import pytest
 #: saturation) that the assertions check.
 FIGURE_POINTS = 12
 
+#: Sweep resolution under ``--quick``: enough to exercise the shared
+#: grid and both backends, nowhere near enough to draw a curve.
+QUICK_FIGURE_POINTS = 4
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "smoke mode: shrink the benchmark workloads to seconds "
+            "(small n, coarse sweeps, no timing-ratio assertions) so CI "
+            "can exercise every benchmark path on every push"
+        ),
+    )
+
+
+@pytest.fixture
+def quick(pytestconfig) -> bool:
+    """Whether the run is in ``--quick`` smoke mode."""
+    return bool(pytestconfig.getoption("--quick"))
+
 
 @pytest.fixture
 def run_once(benchmark):

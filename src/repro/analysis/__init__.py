@@ -1,6 +1,7 @@
 """Analysis tools: saturation, validation, tables/figures, comparisons."""
 
 from .comparison import PolicyComparison, PolicyOutcome, compare_policies
+from .convergence import Phase, PhaseReport, phase_reports
 from .figures import FigureSeries, build_figure
 from .planning import (
     BladeAdditionOption,
@@ -23,6 +24,8 @@ __all__ = [
     "BladeAdditionOption",
     "FigureSeries",
     "PaperTable",
+    "Phase",
+    "PhaseReport",
     "PolicyComparison",
     "PolicyOutcome",
     "PreloadMisestimationReport",
@@ -38,6 +41,7 @@ __all__ = [
     "greedy_upgrade_path",
     "headroom",
     "optimal_value_sensitivities",
+    "phase_reports",
     "preload_misestimation",
     "render_table",
     "reproduce_table",

@@ -1,0 +1,183 @@
+"""Phase-segmented convergence analysis for closed-loop runtime runs.
+
+A closed-loop run (see :func:`repro.runtime.loop.run_closed_loop`)
+moves through *regimes*: a stationary stretch, a post-step stretch at a
+new rate, a degraded stretch after a failure.  Each regime has its own
+analytic optimum ``T'`` — the value the paper's optimizer would pick
+knowing that regime's true rate and topology.  This module cuts the
+simulation's task log at the regime boundaries (skipping a settle
+interval after each boundary, while the estimator catches up and the
+queues relax to the new operating point) and compares the achieved mean
+generic response time of each phase against its target.
+
+This is the runtime analogue of :mod:`repro.analysis.validation`: where
+validation asks "do the formulas match reality at a fixed operating
+point?", convergence asks "does the *controller find* the optimal
+operating point, repeatedly, as reality shifts under it?".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.exceptions import ParameterError
+from ..sim.stats import ConfidenceInterval, RunningStats
+from ..sim.task import SimTask, TaskClass
+
+__all__ = ["Phase", "PhaseReport", "phase_reports"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One regime of a closed-loop run.
+
+    Attributes
+    ----------
+    label:
+        Human-readable regime name (``"stationary"``, ``"post-step"``…).
+    start, end:
+        Simulation-time boundaries of the regime.
+    analytic_t_prime:
+        The optimum ``T'`` for the regime's true rate and topology
+        (``nan`` when no analytic target exists, e.g. a shedding
+        regime, where only stability is asserted).
+    """
+
+    label: str
+    start: float
+    end: float
+    analytic_t_prime: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if not (self.start < self.end):
+            raise ParameterError(
+                f"phase {self.label!r}: need start < end, got "
+                f"{self.start}, {self.end}"
+            )
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Achieved vs. analytic response time over one phase.
+
+    Tasks are attributed to a phase by *arrival* time, so a task whose
+    sojourn straddles a boundary counts toward the regime that admitted
+    it.
+    """
+
+    phase: Phase
+    #: Mean generic response time achieved over the phase window.
+    achieved: float
+    #: Completed generic tasks measured.
+    count: int
+    #: ``|achieved - analytic| / analytic`` (``nan`` without a target).
+    relative_error: float
+    #: 95% batch-free Student-t interval on the achieved mean.
+    interval: ConfidenceInterval
+
+    @property
+    def converged(self) -> bool:
+        """Whether the analytic target lies inside the achieved CI."""
+        if math.isnan(self.phase.analytic_t_prime):
+            return False
+        return self.interval.contains(self.phase.analytic_t_prime)
+
+    def render(self) -> str:
+        """One status line for reports and example scripts."""
+        target = (
+            f"target T' = {self.phase.analytic_t_prime:.5f}, "
+            if not math.isnan(self.phase.analytic_t_prime)
+            else ""
+        )
+        return (
+            f"[{self.phase.label}] t in [{self.phase.start:g}, "
+            f"{self.phase.end:g}): achieved T' = {self.achieved:.5f} "
+            f"({target}n = {self.count})"
+        )
+
+
+def phase_reports(
+    task_log: Sequence[SimTask],
+    phases: Sequence[Phase],
+    settle: float = 0.0,
+    level: float = 0.95,
+) -> list[PhaseReport]:
+    """Cut a task log at phase boundaries and score each phase.
+
+    Parameters
+    ----------
+    task_log:
+        Completed tasks from a run with ``collect_tasks=True`` (only
+        generic tasks are scored; special tasks are ignored).
+    phases:
+        The regime windows, typically built from the run's
+        :class:`~repro.workloads.traces.RateTrace` segments and failure
+        schedule.
+    settle:
+        Transient skipped at the start of every phase: tasks arriving
+        within ``settle`` of the boundary are excluded, giving the
+        estimator time to track the new rate and the queues time to
+        relax.  Phases shorter than ``settle`` raise.
+    level:
+        Confidence level of the per-phase intervals.
+
+    Notes
+    -----
+    The per-phase interval treats task response times as i.i.d., which
+    they are not (successive sojourns are autocorrelated) — so it is
+    narrower than a batch-means interval on the same data.  Callers
+    asserting convergence should combine it with a guard band, exactly
+    as :mod:`repro.analysis.validation` does.
+    """
+    if settle < 0.0:
+        raise ParameterError(f"settle must be >= 0, got {settle}")
+    for phase in phases:
+        if phase.end - phase.start <= settle:
+            raise ParameterError(
+                f"phase {phase.label!r} is shorter than the settle "
+                f"interval ({settle})"
+            )
+    reports: list[PhaseReport] = []
+    for phase in phases:
+        lo = phase.start + settle
+        stats = RunningStats()
+        for task in task_log:
+            if task.task_class is not TaskClass.GENERIC:
+                continue
+            if lo <= task.arrival_time < phase.end:
+                stats.add(task.response_time)
+        if stats.count == 0:
+            raise ParameterError(
+                f"phase {phase.label!r} contains no completed generic "
+                f"tasks; was the run collected with collect_tasks=True "
+                f"and a horizon past {phase.end}?"
+            )
+        achieved = stats.mean
+        interval = _t_interval(stats, level)
+        rel = (
+            abs(achieved - phase.analytic_t_prime) / phase.analytic_t_prime
+            if not math.isnan(phase.analytic_t_prime)
+            else float("nan")
+        )
+        reports.append(
+            PhaseReport(
+                phase=phase,
+                achieved=achieved,
+                count=stats.count,
+                relative_error=rel,
+                interval=interval,
+            )
+        )
+    return reports
+
+
+def _t_interval(stats: RunningStats, level: float) -> ConfidenceInterval:
+    from scipy import stats as _scipy_stats
+
+    if stats.count < 2:
+        return ConfidenceInterval(stats.mean, float("inf"), level)
+    t_crit = float(_scipy_stats.t.ppf(0.5 + level / 2.0, df=stats.count - 1))
+    half = t_crit * stats.stddev / math.sqrt(stats.count)
+    return ConfidenceInterval(stats.mean, half, level)

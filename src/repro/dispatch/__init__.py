@@ -4,6 +4,12 @@
 (``equal-split``, ``capacity-proportional``, ``spare-proportional``,
 ``fastest-first``) are the heuristics benchmarked against it in
 ``benchmarks/bench_ablation_policies.py``.
+
+Policies here are *static*: group + known rate in, rate vector out.
+Their online counterpart — estimating the rate from live arrivals,
+re-solving on drift and on server failures, and realizing the split as
+per-task routing decisions — is :mod:`repro.runtime`, which drives the
+same solver façade these policies wrap.
 """
 
 from .base import LoadDistributionPolicy

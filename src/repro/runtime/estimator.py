@@ -1,0 +1,227 @@
+"""Online arrival-rate estimation and drift detection.
+
+The optimizer needs the total generic rate ``lambda'`` as an input; a
+live dispatcher only sees a stream of arrival timestamps.  Two
+estimators recover the rate online:
+
+:class:`EwmaRateEstimator`
+    Exponential-kernel intensity estimator: every arrival deposits a
+    unit of mass that decays with time constant ``tau``; the decayed
+    mass divided by ``tau`` is an unbiased estimate of a Poisson
+    intensity once the kernel has filled (the startup bias is corrected
+    explicitly).  O(1) memory, smooth response, effective averaging
+    window ``~tau``.
+
+:class:`SlidingWindowRateEstimator`
+    Count-over-window estimator: arrivals in the last ``window`` time
+    units divided by the window.  Exact averaging with a sharp cutoff,
+    O(rate * window) memory.
+
+Both expose the same ``observe(now)`` / ``estimate(now)`` interface, so
+the controller is estimator-agnostic.  :class:`DriftDetector` turns the
+estimate stream into discrete *re-solve triggers*: it fires when the
+estimate has moved more than a relative threshold away from the rate
+the current split was solved for, but at most once per ``min_dwell``
+time units — the dwell is what keeps estimator noise from thrashing
+the solver.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from collections import deque
+
+from ..core.exceptions import ParameterError
+
+__all__ = [
+    "RateEstimator",
+    "EwmaRateEstimator",
+    "SlidingWindowRateEstimator",
+    "DriftDetector",
+]
+
+
+class RateEstimator(abc.ABC):
+    """Online estimator of a point process's arrival rate."""
+
+    @abc.abstractmethod
+    def observe(self, now: float) -> None:
+        """Record one arrival at time ``now`` (non-decreasing)."""
+
+    @abc.abstractmethod
+    def estimate(self, now: float) -> float:
+        """Current rate estimate, evaluated at time ``now``."""
+
+    @abc.abstractmethod
+    def reset(self, now: float = 0.0) -> None:
+        """Forget all observations; restart the clock at ``now``."""
+
+
+def _check_time(now: float, last: float) -> None:
+    if not math.isfinite(now):
+        raise ParameterError(f"time must be finite, got {now!r}")
+    if now < last:
+        raise ParameterError(f"time went backwards: {now} < {last}")
+
+
+class EwmaRateEstimator(RateEstimator):
+    """Exponentially decayed arrival-counting estimator.
+
+    Parameters
+    ----------
+    time_constant:
+        Decay time constant ``tau`` of the exponential kernel; the
+        estimator effectively averages the last ``~tau`` time units.
+    initial_rate:
+        Optional prior: the estimate starts there and is blended out as
+        real observations accumulate.  Without it, the startup bias of
+        the half-filled kernel is corrected by dividing by
+        ``1 - exp(-(now - t0) / tau)``.
+    """
+
+    def __init__(self, time_constant: float, initial_rate: float | None = None) -> None:
+        if not (math.isfinite(time_constant) and time_constant > 0.0):
+            raise ParameterError(
+                f"time_constant must be finite and > 0, got {time_constant!r}"
+            )
+        if initial_rate is not None and not (
+            math.isfinite(initial_rate) and initial_rate >= 0.0
+        ):
+            raise ParameterError(
+                f"initial_rate must be finite and >= 0, got {initial_rate!r}"
+            )
+        self._tau = float(time_constant)
+        self._prior = initial_rate
+        self.reset(0.0)
+
+    def reset(self, now: float = 0.0) -> None:
+        self._t0 = now
+        self._last = now
+        # Mass is the decayed arrival count divided by tau; seeding with
+        # the prior makes estimate() == prior before any observation.
+        self._mass = self._prior if self._prior is not None else 0.0
+
+    def observe(self, now: float) -> None:
+        _check_time(now, self._last)
+        self._mass *= math.exp(-(now - self._last) / self._tau)
+        self._mass += 1.0 / self._tau
+        self._last = now
+
+    def estimate(self, now: float) -> float:
+        _check_time(now, self._last)
+        mass = self._mass * math.exp(-(now - self._last) / self._tau)
+        if self._prior is not None:
+            return mass
+        fill = 1.0 - math.exp(-(now - self._t0) / self._tau)
+        if fill <= 0.0:
+            return 0.0
+        return mass / fill
+
+
+class SlidingWindowRateEstimator(RateEstimator):
+    """Arrivals-in-the-last-``window`` estimator.
+
+    Parameters
+    ----------
+    window:
+        Averaging window length.
+    initial_rate:
+        Optional prior returned while the window has not yet filled
+        (blended linearly with the observed count so a cold start does
+        not report a wildly wrong rate from two early arrivals).
+    """
+
+    def __init__(self, window: float, initial_rate: float | None = None) -> None:
+        if not (math.isfinite(window) and window > 0.0):
+            raise ParameterError(f"window must be finite and > 0, got {window!r}")
+        if initial_rate is not None and not (
+            math.isfinite(initial_rate) and initial_rate >= 0.0
+        ):
+            raise ParameterError(
+                f"initial_rate must be finite and >= 0, got {initial_rate!r}"
+            )
+        self._window = float(window)
+        self._prior = initial_rate
+        self._times: deque[float] = deque()
+        self.reset(0.0)
+
+    def reset(self, now: float = 0.0) -> None:
+        self._t0 = now
+        self._last = now
+        self._times.clear()
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self._window
+        while self._times and self._times[0] <= cutoff:
+            self._times.popleft()
+
+    def observe(self, now: float) -> None:
+        _check_time(now, self._last)
+        self._last = now
+        self._times.append(now)
+        self._prune(now)
+
+    def estimate(self, now: float) -> float:
+        _check_time(now, self._last)
+        self._prune(now)
+        elapsed = now - self._t0
+        if elapsed <= 0.0:
+            return self._prior if self._prior is not None else 0.0
+        observed_window = min(elapsed, self._window)
+        rate = len(self._times) / observed_window
+        if self._prior is None or elapsed >= self._window:
+            return rate
+        # Window partially filled: interpolate prior -> observation.
+        w = elapsed / self._window
+        return (1.0 - w) * self._prior + w * rate
+
+
+class DriftDetector:
+    """Relative-change drift trigger with a minimum dwell time.
+
+    Parameters
+    ----------
+    threshold:
+        Relative deviation ``|estimate - reference| / reference`` that
+        counts as drift (e.g. ``0.1`` = 10%).
+    min_dwell:
+        Minimum time between triggers.  Within the dwell the detector
+        stays quiet however far the estimate moves — re-solving faster
+        than the estimator's own averaging window only chases noise.
+    """
+
+    def __init__(self, threshold: float = 0.1, min_dwell: float = 0.0) -> None:
+        if not (math.isfinite(threshold) and threshold > 0.0):
+            raise ParameterError(f"threshold must be finite and > 0, got {threshold!r}")
+        if not (math.isfinite(min_dwell) and min_dwell >= 0.0):
+            raise ParameterError(
+                f"min_dwell must be finite and >= 0, got {min_dwell!r}"
+            )
+        self.threshold = float(threshold)
+        self.min_dwell = float(min_dwell)
+        self._reference: float | None = None
+        self._last_trigger = -math.inf
+
+    @property
+    def reference(self) -> float | None:
+        """The rate the current split was solved for (``None`` = unset)."""
+        return self._reference
+
+    def rearm(self, now: float, reference: float) -> None:
+        """Anchor the detector to a freshly adopted operating point."""
+        if not (math.isfinite(reference) and reference > 0.0):
+            raise ParameterError(
+                f"reference must be finite and > 0, got {reference!r}"
+            )
+        self._reference = float(reference)
+        self._last_trigger = now
+
+    def check(self, now: float, estimate: float) -> bool:
+        """Whether ``estimate`` constitutes actionable drift at ``now``."""
+        if self._reference is None:
+            return True
+        if now - self._last_trigger < self.min_dwell:
+            return False
+        deviation = abs(estimate - self._reference) / self._reference
+        return deviation > self.threshold

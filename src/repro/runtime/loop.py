@@ -1,0 +1,401 @@
+"""The online dispatcher and its closed-loop simulation harness.
+
+:class:`LoadDistributionRuntime` is the estimator → controller → router
+control loop assembled into one object that speaks the simulator's
+dispatcher protocol:
+
+* every generic arrival feeds the rate estimator (offered load, before
+  shedding) and may trigger a re-solve (drift or periodic timer);
+* every routing decision realizes the current optimal split through a
+  weighted router, shedding first when the capacity plan says so;
+* server up/down events shrink/restore the group and force an
+  immediate re-solve;
+* every completion feeds the response-time metrics.
+
+:func:`run_closed_loop` drives the runtime against the discrete-event
+engine with a time-varying arrival trace and a failure schedule — the
+validation mode the ISSUE's acceptance tests run in: the achieved mean
+generic response time must converge to the analytic optimum ``T'`` of
+whatever (rate, topology) regime is in force.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.response import Discipline
+from ..core.result import LoadDistributionResult
+from ..core.server import BladeServerGroup
+from ..sim.arrivals import TracedPoissonArrivals
+from ..sim.engine import GroupSimulation, SimulationConfig, SimulationResult
+from ..sim.rng import StreamFactory
+from ..sim.task import SimTask, TaskClass
+from ..workloads.traces import RateTrace
+from .controller import ResolveController
+from .estimator import DriftDetector, EwmaRateEstimator, SlidingWindowRateEstimator
+from .health import HealthTracker
+from .metrics import RuntimeMetrics
+from .router import make_router
+
+__all__ = [
+    "RuntimeConfig",
+    "ResolveEvent",
+    "LoadDistributionRuntime",
+    "ClosedLoopResult",
+    "run_closed_loop",
+]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tuning knobs of the online runtime (defaults are sane for sim scale).
+
+    Attributes
+    ----------
+    discipline, method:
+        Forwarded to the solver (see
+        :func:`~repro.core.solvers.optimize_load_distribution`).
+    estimator:
+        ``"ewma"`` (exponential kernel) or ``"window"`` (sliding count).
+    time_constant:
+        EWMA time constant / sliding-window length, in simulation time.
+    drift_threshold:
+        Relative rate change that triggers a re-solve.
+    min_dwell:
+        Minimum time between drift-triggered re-solves.
+    resolve_period:
+        Optional periodic re-solve interval (``inf`` disables).
+    hysteresis:
+        Minimum total-variation distance between routing-fraction
+        vectors for a new split to replace the live one.
+    rate_quantum:
+        Solver-target quantization grid, as a fraction of capacity.
+    cache_size:
+        LRU capacity of the solved-split cache.
+    utilization_cap:
+        Degradation cap: admitted load never exceeds this fraction of
+        the surviving capacity; the excess is shed.
+    router:
+        ``"swrr"`` (smooth weighted round-robin) or ``"alias"``
+        (alias-table sampling).
+    seed:
+        Seed of the runtime's own randomness (alias sampling, shed
+        coin) — independent of the simulator's streams.
+    solver_tol:
+        Optional solver tolerance override.
+    """
+
+    discipline: Discipline | str = Discipline.FCFS
+    method: str = "auto"
+    estimator: str = "ewma"
+    time_constant: float = 150.0
+    drift_threshold: float = 0.1
+    min_dwell: float = 25.0
+    resolve_period: float = math.inf
+    hysteresis: float = 0.01
+    rate_quantum: float = 0.002
+    cache_size: int = 64
+    utilization_cap: float = 0.92
+    router: str = "swrr"
+    seed: int = 0
+    solver_tol: float | None = None
+
+
+@dataclass(frozen=True)
+class ResolveEvent:
+    """One controller decision, for post-run inspection."""
+
+    time: float
+    reason: str
+    offered_rate: float
+    solved_rate: float
+    shed_fraction: float
+    cache_hit: bool
+    adopted: bool
+
+
+class LoadDistributionRuntime:
+    """Online dispatcher: estimate, re-solve on drift, route, degrade.
+
+    Implements the simulator's dispatcher protocol (:meth:`route`) plus
+    the engine's arrival/completion listener hooks, so one instance
+    plugs straight into :class:`~repro.sim.engine.GroupSimulation`.
+
+    Parameters
+    ----------
+    group:
+        The full blade-server group.
+    initial_rate:
+        Design-time estimate of ``lambda'``; the runtime solves its
+        first split from it and seeds the rate estimator's prior.
+    config:
+        Tuning knobs; see :class:`RuntimeConfig`.
+    """
+
+    def __init__(
+        self,
+        group: BladeServerGroup,
+        initial_rate: float,
+        config: RuntimeConfig = RuntimeConfig(),
+    ) -> None:
+        self.config = config
+        self.health = HealthTracker(group, utilization_cap=config.utilization_cap)
+        solver_kwargs = {}
+        if config.solver_tol is not None:
+            solver_kwargs["tol"] = config.solver_tol
+        self.controller = ResolveController(
+            self.health,
+            discipline=config.discipline,
+            method=config.method,
+            rate_quantum=config.rate_quantum,
+            cache_size=config.cache_size,
+            hysteresis=config.hysteresis,
+            **solver_kwargs,
+        )
+        if config.estimator == "ewma":
+            self.estimator = EwmaRateEstimator(
+                config.time_constant, initial_rate=initial_rate
+            )
+        elif config.estimator == "window":
+            self.estimator = SlidingWindowRateEstimator(
+                config.time_constant, initial_rate=initial_rate
+            )
+        else:
+            raise ParameterError(
+                f"unknown estimator {config.estimator!r}; use 'ewma' or 'window'"
+            )
+        self.drift = DriftDetector(
+            threshold=config.drift_threshold, min_dwell=config.min_dwell
+        )
+        self.metrics = RuntimeMetrics.for_group_size(group.n)
+        self.resolve_log: list[ResolveEvent] = []
+        streams = StreamFactory(config.seed)
+        self._shed_rng = streams.stream("shed")
+        self._router_rng = streams.stream("router")
+        self._now = 0.0
+        self._last_resolve = -math.inf
+        self._shed_fraction = 0.0
+        self._weights: np.ndarray | None = None
+        self._result: LoadDistributionResult | None = None
+        self._router = None
+        self._resolve(0.0, initial_rate, reason="initial", force=True)
+
+    # -- state views ------------------------------------------------------------------
+
+    @property
+    def current_result(self) -> LoadDistributionResult:
+        """The live split's solver result (active-subgroup space)."""
+        return self._result
+
+    @property
+    def current_weights(self) -> np.ndarray:
+        """The live full-group routing fractions (down servers at 0)."""
+        return self._weights.copy()
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of arrivals currently being shed."""
+        return self._shed_fraction
+
+    # -- control ----------------------------------------------------------------------
+
+    def _resolve(
+        self, now: float, offered_rate: float, reason: str, force: bool
+    ) -> None:
+        outcome = self.controller.resolve(offered_rate)
+        adopt = force or self.controller.should_adopt(self._weights, outcome.weights)
+        if adopt:
+            self._weights = outcome.weights
+            self._result = outcome.result
+            self._shed_fraction = outcome.plan.shed_fraction
+            if self._router is None:
+                self._router = make_router(
+                    self.config.router, self._weights, self._router_rng
+                )
+            else:
+                self._router.set_weights(self._weights)
+            self.metrics.counters.adoptions += 1
+        else:
+            self.metrics.counters.hysteresis_skips += 1
+        if outcome.cache_hit:
+            self.metrics.counters.cache_hits += 1
+        else:
+            self.metrics.counters.resolves += 1
+            self.metrics.resolve_latency.add(outcome.latency)
+        # Re-anchor drift detection at the rate we just planned for,
+        # whether or not the split itself changed: the decision was
+        # made, so small residual deviation is no longer "drift".
+        self.drift.rearm(now, offered_rate)
+        self._last_resolve = now
+        self.resolve_log.append(
+            ResolveEvent(
+                time=now,
+                reason=reason,
+                offered_rate=offered_rate,
+                solved_rate=outcome.solved_rate,
+                shed_fraction=outcome.plan.shed_fraction,
+                cache_hit=outcome.cache_hit,
+                adopted=adopt,
+            )
+        )
+
+    def server_down(self, index: int, now: float) -> None:
+        """Handle a server failure: drain routing, re-solve immediately."""
+        self._now = now
+        if self.health.mark_down(index):
+            self.metrics.counters.failures += 1
+            self._resolve(
+                now, self._offered_estimate(now), reason="failure", force=True
+            )
+
+    def server_up(self, index: int, now: float) -> None:
+        """Handle a server recovery: restore capacity, re-solve."""
+        self._now = now
+        if self.health.mark_up(index):
+            self.metrics.counters.recoveries += 1
+            self._resolve(
+                now, self._offered_estimate(now), reason="recovery", force=True
+            )
+
+    def _offered_estimate(self, now: float) -> float:
+        est = self.estimator.estimate(now)
+        # A dead estimate (cold start, long silence) must not reach the
+        # planner, which requires a positive rate.
+        return est if est > 0.0 else 1e-12
+
+    # -- engine-facing hooks -------------------------------------------------------------
+
+    def observe_arrival(self, now: float) -> None:
+        """Arrival listener: feed the estimator, run the trigger logic."""
+        self._now = now
+        self.metrics.counters.arrivals += 1
+        self.estimator.observe(now)
+        estimate = self.estimator.estimate(now)
+        if now - self._last_resolve >= self.config.resolve_period:
+            self.metrics.counters.periodic_triggers += 1
+            self._resolve(now, estimate, reason="periodic", force=False)
+        elif self.drift.check(now, estimate):
+            self.metrics.counters.drift_triggers += 1
+            self._resolve(now, estimate, reason="drift", force=False)
+
+    def route(self, servers=None) -> int:
+        """Dispatcher protocol: shed or pick a destination server."""
+        if self._shed_fraction > 0.0 and self._shed_rng.random() < self._shed_fraction:
+            self.metrics.counters.shed += 1
+            return -1
+        dest = self._router.pick()
+        self.metrics.counters.routed += 1
+        self.metrics.routed.record(dest)
+        return dest
+
+    def observe_completion(self, task: SimTask, now: float) -> None:
+        """Completion listener: generic response times into the metrics."""
+        if task.task_class is TaskClass.GENERIC:
+            self.metrics.on_response(task.response_time)
+
+
+@dataclass(frozen=True)
+class ClosedLoopResult:
+    """Output of one closed-loop run: simulation + runtime telemetry."""
+
+    #: Post-warmup simulation statistics (task log included when
+    #: ``collect_tasks`` was set — the convergence report needs it).
+    sim: SimulationResult
+    #: The runtime instance, with final health/metrics/cache state.
+    runtime: LoadDistributionRuntime
+    #: The arrival trace the run was driven with.
+    trace: RateTrace
+    #: The failure schedule applied, as ``(time, server, kind)``.
+    failures: tuple = field(default=())
+
+    @property
+    def metrics(self) -> RuntimeMetrics:
+        """Shortcut to the runtime's metric set."""
+        return self.runtime.metrics
+
+
+def run_closed_loop(
+    group: BladeServerGroup,
+    trace: RateTrace,
+    config: RuntimeConfig = RuntimeConfig(),
+    *,
+    horizon: float,
+    warmup: float = 0.0,
+    seed: int | None = 0,
+    failures: Sequence[tuple[float, int, str]] = (),
+    collect_tasks: bool = True,
+) -> ClosedLoopResult:
+    """Drive the online runtime with simulated traffic, closed loop.
+
+    Parameters
+    ----------
+    group:
+        The blade-server group.
+    trace:
+        Time-varying total generic rate ``lambda'(t)``.
+    config:
+        Runtime tuning; the runtime's initial split is solved at
+        ``trace.initial_rate``.
+    horizon, warmup, seed:
+        Simulation run parameters (see
+        :class:`~repro.sim.engine.SimulationConfig`).
+    failures:
+        Schedule of health events ``(time, server_index, kind)`` with
+        ``kind`` in ``{"down", "up"}``.
+    collect_tasks:
+        Retain completed tasks for phase-segmented convergence analysis
+        (see :func:`repro.analysis.convergence.phase_reports`).
+    """
+    runtime = LoadDistributionRuntime(group, trace.initial_rate, config)
+    controls = []
+    for t, index, kind in failures:
+        if kind == "down":
+            controls.append((t, _down_action(runtime, index)))
+        elif kind == "up":
+            controls.append((t, _up_action(runtime, index)))
+        else:
+            raise ParameterError(f"failure kind must be 'down' or 'up', got {kind!r}")
+    sim_config = SimulationConfig(
+        total_generic_rate=trace.initial_rate,
+        fractions=tuple(runtime.current_weights),
+        discipline=Discipline.coerce(config.discipline),
+        horizon=horizon,
+        warmup=warmup,
+        seed=seed,
+    )
+    sim = GroupSimulation(
+        group,
+        sim_config,
+        dispatcher=runtime,
+        arrivals=TracedPoissonArrivals(trace),
+        arrival_listener=runtime.observe_arrival,
+        completion_listener=runtime.observe_completion,
+        controls=controls,
+        collect_tasks=collect_tasks,
+    )
+    result = sim.run()
+    return ClosedLoopResult(
+        sim=result,
+        runtime=runtime,
+        trace=trace,
+        failures=tuple(failures),
+    )
+
+
+def _down_action(runtime: LoadDistributionRuntime, index: int):
+    def action(sim, now: float) -> None:
+        runtime.server_down(index, now)
+
+    return action
+
+
+def _up_action(runtime: LoadDistributionRuntime, index: int):
+    def action(sim, now: float) -> None:
+        runtime.server_up(index, now)
+
+    return action

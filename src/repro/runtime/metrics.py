@@ -1,0 +1,177 @@
+"""Operational metrics of the online load-distribution runtime.
+
+Plain dataclasses and small accumulators — no exporter dependency — so
+both the simulation harness and any future metrics endpoint (Prometheus,
+CSV, logging) consume the same objects.  Everything here is *observed*
+by the runtime's hot path, so the accumulators are O(1) per event.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.exceptions import ParameterError, SimulationError
+from ..sim.stats import RunningStats
+
+__all__ = ["RuntimeCounters", "LogHistogram", "RateGauges", "RuntimeMetrics"]
+
+
+@dataclass
+class RuntimeCounters:
+    """Monotonic event counters of one runtime instance."""
+
+    #: Generic arrivals offered to the runtime (pre-shedding).
+    arrivals: int = 0
+    #: Tasks actually routed to a server.
+    routed: int = 0
+    #: Tasks shed in degraded mode.
+    shed: int = 0
+    #: Solver invocations (cache misses).
+    resolves: int = 0
+    #: Re-solve requests answered from the LRU cache.
+    cache_hits: int = 0
+    #: Re-solves triggered by the drift detector.
+    drift_triggers: int = 0
+    #: Re-solves triggered by the periodic timer.
+    periodic_triggers: int = 0
+    #: Splits adopted (replaced the live routing weights).
+    adoptions: int = 0
+    #: Splits discarded by hysteresis (too close to the live split).
+    hysteresis_skips: int = 0
+    #: Server-down events observed.
+    failures: int = 0
+    #: Server-up events observed.
+    recoveries: int = 0
+
+
+class LogHistogram:
+    """Fixed-layout histogram with logarithmically spaced bins.
+
+    Response times span orders of magnitude as utilization climbs, so
+    log-spaced bins keep relative resolution constant.  Values below
+    the first edge land in an underflow bin, values at or above the
+    last edge in an overflow bin.
+    """
+
+    def __init__(self, lo: float = 1e-3, hi: float = 1e3, bins: int = 60) -> None:
+        if not (0.0 < lo < hi) or not (math.isfinite(lo) and math.isfinite(hi)):
+            raise ParameterError(f"need 0 < lo < hi finite, got {lo}, {hi}")
+        if bins < 1:
+            raise ParameterError(f"bins must be >= 1, got {bins}")
+        #: Bin edges, length ``bins + 1``.
+        self.edges = np.logspace(math.log10(lo), math.log10(hi), bins + 1)
+        #: Counts, length ``bins + 2`` (underflow first, overflow last).
+        self.counts = np.zeros(bins + 2, dtype=np.int64)
+
+    @property
+    def total(self) -> int:
+        """Number of recorded observations."""
+        return int(self.counts.sum())
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[int(np.searchsorted(self.edges, value, side="right"))] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bin counts.
+
+        Returns the upper edge of the bin containing the ``q``-th
+        observation (a conservative estimate; resolution is one bin).
+        """
+        if not (0.0 < q < 1.0):
+            raise ParameterError(f"q must be in (0,1), got {q}")
+        total = self.total
+        if total == 0:
+            raise SimulationError("quantile of an empty histogram")
+        target = q * total
+        cum = np.cumsum(self.counts)
+        k = int(np.searchsorted(cum, target, side="left"))
+        if k == 0:
+            return float(self.edges[0])
+        return float(self.edges[min(k, len(self.edges) - 1)])
+
+
+class RateGauges:
+    """Per-server routed-rate gauges.
+
+    Tracks cumulative routed counts plus an interval window so a
+    scraper can read "tasks/second since the last snapshot" — the
+    quantity the ISSUE's routed-rate dashboards plot against the
+    analytic ``lambda'_i``.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ParameterError(f"n must be >= 1, got {n}")
+        #: Cumulative routed tasks per server.
+        self.counts = np.zeros(n, dtype=np.int64)
+        self._window_start = 0.0
+        self._window_counts = np.zeros(n, dtype=np.int64)
+
+    def record(self, server: int) -> None:
+        """Count one task routed to ``server``."""
+        self.counts[server] += 1
+        self._window_counts[server] += 1
+
+    def cumulative_rates(self, now: float) -> np.ndarray:
+        """Per-server routed rates over the whole run ``[0, now]``."""
+        if now <= 0.0:
+            return np.zeros_like(self.counts, dtype=float)
+        return self.counts / now
+
+    def snapshot(self, now: float) -> np.ndarray:
+        """Per-server rates since the previous snapshot, then reset."""
+        width = now - self._window_start
+        rates = (
+            self._window_counts / width
+            if width > 0.0
+            else np.zeros_like(self._window_counts, dtype=float)
+        )
+        self._window_start = now
+        self._window_counts = np.zeros_like(self._window_counts)
+        return rates
+
+
+@dataclass
+class RuntimeMetrics:
+    """The full metric set of one :class:`~repro.runtime.loop.LoadDistributionRuntime`.
+
+    Attributes
+    ----------
+    counters:
+        Event counters (see :class:`RuntimeCounters`).
+    routed:
+        Per-server routed-rate gauges.
+    resolve_latency:
+        Wall-clock seconds per solver invocation (cache misses only).
+    response_time:
+        Welford accumulator over observed generic response times.
+    response_histogram:
+        Log-binned histogram of the same observations (tail queries).
+    """
+
+    counters: RuntimeCounters
+    routed: RateGauges
+    resolve_latency: RunningStats = field(default_factory=RunningStats)
+    response_time: RunningStats = field(default_factory=RunningStats)
+    response_histogram: LogHistogram = field(default_factory=LogHistogram)
+
+    @classmethod
+    def for_group_size(cls, n: int) -> "RuntimeMetrics":
+        """Fresh metrics for an ``n``-server group."""
+        return cls(counters=RuntimeCounters(), routed=RateGauges(n))
+
+    def on_response(self, response_time: float) -> None:
+        """Record one completed generic task's response time."""
+        self.response_time.add(response_time)
+        self.response_histogram.add(response_time)
+
+    @property
+    def shed_fraction_observed(self) -> float:
+        """Fraction of offered arrivals that were shed."""
+        if self.counters.arrivals == 0:
+            return 0.0
+        return self.counters.shed / self.counters.arrivals

@@ -30,6 +30,7 @@ from .arrivals import (
     HyperexponentialArrivals,
     MMPPArrivals,
     PoissonArrivals,
+    TracedPoissonArrivals,
 )
 from .events import Event, EventQueue, EventType
 from .requirements import (
@@ -52,6 +53,7 @@ __all__ = [
     "HyperexponentialArrivals",
     "MMPPArrivals",
     "PoissonArrivals",
+    "TracedPoissonArrivals",
     "DeterministicRequirement",
     "Dispatcher",
     "DynamicDispatcher",

@@ -22,6 +22,13 @@ study in :mod:`repro.sim.requirements`):
     times at a target SCV > 1 — bursty but memoryless between
     arrivals, isolating the variability effect from the correlation
     effect MMPP adds.
+
+:class:`TracedPoissonArrivals`
+    A Poisson process whose rate follows a piecewise-constant
+    :class:`~repro.workloads.traces.RateTrace` — the demand-drift
+    driver of the online runtime's closed-loop tests.  Unlike the
+    other processes it is *deliberately* non-stationary; its
+    :attr:`rate` reports the initial segment's rate.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ __all__ = [
     "PoissonArrivals",
     "MMPPArrivals",
     "HyperexponentialArrivals",
+    "TracedPoissonArrivals",
 ]
 
 
@@ -169,3 +177,46 @@ class HyperexponentialArrivals(ArrivalProcess):
     def next_interarrival(self, rng: np.random.Generator) -> float:
         mean = self._m1 if rng.random() < self._p1 else self._m2
         return float(rng.exponential(mean))
+
+
+class TracedPoissonArrivals(ArrivalProcess):
+    """Poisson arrivals whose rate follows a piecewise-constant trace.
+
+    Within each trace segment the stream is exactly Poisson at the
+    segment rate.  A draw that would cross a change point is truncated
+    at the boundary and redrawn at the new rate — exact for Poisson
+    processes by memorylessness (same competing-clocks walk the MMPP
+    process uses, with a deterministic modulation schedule).
+
+    The process tracks its own internal clock, which stays in lockstep
+    with the simulation clock because the engine draws one inter-arrival
+    per arrival event starting at time zero.
+    """
+
+    def __init__(self, trace) -> None:
+        super().__init__(trace.initial_rate)
+        self._trace = trace
+        self._t = 0.0
+
+    @property
+    def trace(self):
+        """The driving :class:`~repro.workloads.traces.RateTrace`."""
+        return self._trace
+
+    def reset(self) -> None:
+        self._t = 0.0
+
+    def next_interarrival(self, rng: np.random.Generator) -> float:
+        elapsed = 0.0
+        for _ in range(10_000):
+            lam = self._trace.rate_at(self._t)
+            boundary = self._trace.next_change(self._t)
+            gap = float(rng.exponential(1.0 / lam))
+            if self._t + gap < boundary:
+                self._t += gap
+                return elapsed + gap
+            elapsed += boundary - self._t
+            self._t = boundary
+        raise ParameterError(  # pragma: no cover - unreachable for sane traces
+            "rate trace failed to produce an arrival within 10000 segments"
+        )

@@ -104,6 +104,11 @@ class SimulationResult:
     #: Completed post-warmup tasks, in completion order (only populated
     #: when the run was started with ``collect_tasks=True``).
     task_log: tuple = field(default=(), repr=False)
+    #: Generic arrivals the dispatcher refused (returned a negative
+    #: index), counted post-warmup.  Always zero for the paper's static
+    #: dispatchers; the online runtime sheds load this way when the
+    #: surviving capacity cannot absorb demand.
+    generic_shed: int = 0
 
 
 class GroupSimulation:
@@ -140,6 +145,20 @@ class GroupSimulation:
         stream at ``config.total_generic_rate``.  A non-Poisson process
         turns the run into an arrival-burstiness robustness experiment.
         The process's long-run rate must equal the configured rate.
+    arrival_listener:
+        Optional callable ``listener(now)`` invoked at every generic
+        arrival *before* the routing decision.  The online runtime uses
+        it to feed its rate estimators with the offered (pre-shedding)
+        stream.
+    completion_listener:
+        Optional callable ``listener(task, now)`` invoked at every task
+        completion (both classes, warmup included) — the runtime's
+        response-time feedback channel.
+    controls:
+        Scheduled control actions ``(time, action)``; each ``action``
+        is called as ``action(sim, now)`` when the simulation clock
+        reaches ``time``.  Used to inject server failures, recoveries,
+        and other operator events into a run.
     """
 
     def __init__(
@@ -151,6 +170,9 @@ class GroupSimulation:
         collect_tasks: bool = False,
         classifier=None,
         arrivals: "ArrivalProcess | None" = None,
+        arrival_listener=None,
+        completion_listener=None,
+        controls=(),
     ) -> None:
         if len(config.fractions) != group.n:
             raise ParameterError(
@@ -187,6 +209,14 @@ class GroupSimulation:
                 f"total_generic_rate {config.total_generic_rate}"
             )
         self._arrivals = arrivals
+        self._arrival_listener = arrival_listener
+        self._completion_listener = completion_listener
+        self._controls = tuple(controls)
+        for t, action in self._controls:
+            if not (math.isfinite(t) and t >= 0.0):
+                raise ParameterError(f"control time must be finite and >= 0, got {t!r}")
+            if not callable(action):
+                raise ParameterError(f"control action must be callable, got {action!r}")
         self._servers = [
             SimServer(i, srv.size, srv.speed, Discipline.coerce(config.discipline))
             for i, srv in enumerate(group.servers)
@@ -226,6 +256,7 @@ class GroupSimulation:
         system_tw = [TimeWeightedStats() for _ in range(n)]
         gen_done = 0
         spec_done = 0
+        gen_shed = 0
         gen_done_per_server = np.zeros(n, dtype=np.int64)
         task_log: list[SimTask] = []
 
@@ -249,6 +280,9 @@ class GroupSimulation:
         if cfg.warmup > 0.0:
             events.schedule(cfg.warmup, EventType.END_OF_WARMUP)
         events.schedule(cfg.horizon, EventType.END_OF_RUN)
+        for t, action in self._controls:
+            if t < cfg.horizon:
+                events.schedule(t, EventType.CONTROL, payload=action)
 
         def record_state(i: int, now: float) -> None:
             busy_tw[i].update(now, self._servers[i].busy)
@@ -274,13 +308,25 @@ class GroupSimulation:
                     system_tw[i].reset(now, self._servers[i].in_system)
                 continue
 
+            if ev.kind is EventType.CONTROL:
+                ev.payload(self, now)
+                continue
+
             if ev.kind is EventType.GENERIC_ARRIVAL:
                 # Schedule the next generic arrival, then route this one.
                 events.schedule(
                     now + self._arrivals.next_interarrival(self._arrival_rng),
                     EventType.GENERIC_ARRIVAL,
                 )
+                if self._arrival_listener is not None:
+                    self._arrival_listener(now)
                 dest = self._dispatcher.route(self._servers)
+                if dest < 0:
+                    # Dispatcher shed the task (degraded mode): it never
+                    # enters any queue and produces no statistics.
+                    if measuring:
+                        gen_shed += 1
+                    continue
                 task = self._new_task(TaskClass.GENERIC, dest, now)
                 started = self._servers[dest].on_arrival(task, now)
                 if started is not None:
@@ -311,6 +357,8 @@ class GroupSimulation:
                 if nxt is not None:
                     start_service(nxt, now)
                 record_state(i, now)
+                if self._completion_listener is not None:
+                    self._completion_listener(task, now)
                 # Count the completion only if the task *arrived* after
                 # warmup, so its whole sojourn lies in the window.
                 if measuring and task.arrival_time >= cfg.warmup:
@@ -351,6 +399,7 @@ class GroupSimulation:
             generic_batches=gen_resp,
             generic_completed_per_server=gen_done_per_server,
             task_log=tuple(task_log),
+            generic_shed=gen_shed,
         )
 
 

@@ -28,6 +28,10 @@ class EventType(enum.Enum):
     DEPARTURE = "departure"
     END_OF_WARMUP = "end_of_warmup"
     END_OF_RUN = "end_of_run"
+    #: Scheduled control action (payload: ``callable(sim, now)``) — used
+    #: by the online runtime to inject failures, recoveries, and other
+    #: operator actions at fixed simulation times.
+    CONTROL = "control"
 
 
 @dataclass(frozen=True, order=True)

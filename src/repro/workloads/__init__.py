@@ -32,9 +32,11 @@ from .paper import (
     example_instance,
 )
 from .sweeps import shared_sweep, sweep_rates
+from .traces import RateTrace
 
 __all__ = [
     "EXAMPLE_TOTAL_RATE",
+    "RateTrace",
     "SIZE_HETEROGENEITY_VECTORS",
     "SIZE_IMPACT_VECTORS",
     "SPEED_HETEROGENEITY_VECTORS",

@@ -1,0 +1,139 @@
+"""Time-varying arrival-rate traces for the online runtime.
+
+The paper optimizes for one known total generic rate ``lambda'``.  The
+online runtime (:mod:`repro.runtime`) must instead track a rate that
+*changes* — demand drifts, spikes, and recedes.  A :class:`RateTrace` is
+the workload-side description of that: a piecewise-constant schedule
+``lambda'(t)`` the closed-loop harness feeds to the simulator (via
+:class:`repro.sim.arrivals.TracedPoissonArrivals`) and against which the
+controller's re-convergence is asserted.
+
+Piecewise-constant is deliberate: between change points the process is
+exactly the paper's Poisson stream, so each segment has a well-defined
+analytic optimum ``T'`` to converge to.  Smooth ramps are modelled by
+discretizing into steps (:meth:`RateTrace.ramp`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.exceptions import ParameterError
+
+__all__ = ["RateTrace"]
+
+
+@dataclass(frozen=True)
+class RateTrace:
+    """A piecewise-constant total generic arrival rate ``lambda'(t)``.
+
+    Parameters
+    ----------
+    initial_rate:
+        Rate on ``[0, t_1)`` (must be ``> 0``).
+    steps:
+        Change points ``(t_k, rate_k)`` with strictly increasing,
+        positive times and positive rates; after ``t_k`` the rate is
+        ``rate_k``.  Empty for a stationary trace.
+    """
+
+    initial_rate: float
+    steps: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.initial_rate) and self.initial_rate > 0.0):
+            raise ParameterError(
+                f"initial_rate must be finite and > 0, got {self.initial_rate!r}"
+            )
+        cleaned = tuple((float(t), float(r)) for t, r in self.steps)
+        last = 0.0
+        for t, r in cleaned:
+            if not (math.isfinite(t) and t > last):
+                raise ParameterError(
+                    f"step times must be finite and strictly increasing, got {t!r}"
+                )
+            if not (math.isfinite(r) and r > 0.0):
+                raise ParameterError(f"step rates must be finite and > 0, got {r!r}")
+            last = t
+        object.__setattr__(self, "steps", cleaned)
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def constant(cls, rate: float) -> "RateTrace":
+        """A stationary trace at ``rate``."""
+        return cls(rate)
+
+    @classmethod
+    def step(cls, rate: float, at: float, to: float) -> "RateTrace":
+        """A single step change: ``rate`` until ``at``, then ``to``."""
+        return cls(rate, ((at, to),))
+
+    @classmethod
+    def ramp(
+        cls, rate: float, start: float, end: float, to: float, pieces: int = 8
+    ) -> "RateTrace":
+        """A linear ramp from ``rate`` to ``to`` over ``[start, end]``.
+
+        Discretized into ``pieces`` equal piecewise-constant segments
+        (each segment takes the ramp's midpoint rate, so the integrated
+        offered load matches the linear ramp exactly).
+        """
+        if not (0.0 < start < end):
+            raise ParameterError(f"need 0 < start < end, got {start}, {end}")
+        if pieces < 1:
+            raise ParameterError(f"pieces must be >= 1, got {pieces}")
+        width = (end - start) / pieces
+        steps = [
+            (start + k * width, rate + (to - rate) * (k + 0.5) / pieces)
+            for k in range(pieces)
+        ]
+        steps.append((end, to))
+        return cls(rate, tuple(steps))
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def change_times(self) -> tuple[float, ...]:
+        """Times at which the rate changes."""
+        return tuple(t for t, _ in self.steps)
+
+    def rate_at(self, t: float) -> float:
+        """The rate in force at time ``t`` (left-continuous segments)."""
+        rate = self.initial_rate
+        for t_k, r_k in self.steps:
+            if t < t_k:
+                break
+            rate = r_k
+        return rate
+
+    def next_change(self, t: float) -> float:
+        """First change time strictly after ``t`` (``inf`` if none)."""
+        for t_k, _ in self.steps:
+            if t_k > t:
+                return t_k
+        return math.inf
+
+    def max_rate(self) -> float:
+        """Largest rate the trace ever takes (feasibility pre-checks)."""
+        return max([self.initial_rate, *(r for _, r in self.steps)])
+
+    def segments(self, horizon: float) -> tuple[tuple[float, float, float], ...]:
+        """``(start, end, rate)`` triples covering ``[0, horizon]``.
+
+        Change points at or beyond ``horizon`` are dropped; the last
+        segment always ends exactly at ``horizon``.  Used by the
+        convergence report to pair each phase with its analytic optimum.
+        """
+        if not (math.isfinite(horizon) and horizon > 0.0):
+            raise ParameterError(f"horizon must be finite and > 0, got {horizon!r}")
+        out: list[tuple[float, float, float]] = []
+        start, rate = 0.0, self.initial_rate
+        for t_k, r_k in self.steps:
+            if t_k >= horizon:
+                break
+            out.append((start, t_k, rate))
+            start, rate = t_k, r_k
+        out.append((start, horizon, rate))
+        return tuple(out)

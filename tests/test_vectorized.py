@@ -253,9 +253,44 @@ class TestSolveSweep:
         for w, c in zip(warm, cold):
             assert abs(w.mean_response_time - c.mean_response_time) < 1e-9
 
-    def test_non_warmstartable_backend_still_works(self, paper_group):
+    @pytest.mark.parametrize("method", ["kkt", "slsqp", "auto"])
+    @pytest.mark.parametrize("discipline", [Discipline.FCFS, Discipline.PRIORITY])
+    def test_non_warmstartable_backend_falls_back(
+        self, paper_group, method, discipline
+    ):
+        """``warm_start=True`` must be a silent no-op off the hintable path.
+
+        The paper group has 7 servers, so both ``"kkt"`` and ``"auto"``
+        (-> kkt below the vectorized threshold) resolve to backends
+        outside ``WARM_STARTABLE``; ``solve_sweep`` must not forward a
+        ``phi_hint`` those solvers would reject, and every point must
+        still match the warm-started bisection reference.
+        """
+        from repro.core.solvers import resolve_method
+        from repro.workloads.sweeps import WARM_STARTABLE
+
+        assert resolve_method(paper_group, method) not in WARM_STARTABLE
         lams = sweep_rates(paper_group, points=3, hi_fraction=0.8)
-        results = solve_sweep(paper_group, lams, method="kkt")
+        results = solve_sweep(
+            paper_group, lams, discipline=discipline, method=method, warm_start=True
+        )
+        reference = solve_sweep(
+            paper_group, lams, discipline=discipline, method="bisection", tol=1e-12
+        )
         assert len(results) == 3
-        for res, lam in zip(results, lams):
+        for res, ref, lam in zip(results, reference, lams):
             assert abs(sum(res.generic_rates) - lam) < 1e-6
+            assert res.mean_response_time == pytest.approx(
+                ref.mean_response_time, abs=5e-6
+            )
+            np.testing.assert_allclose(
+                res.generic_rates, ref.generic_rates, atol=5e-4
+            )
+
+    def test_warm_start_flag_is_inert_for_non_warmstartable(self, paper_group):
+        lams = sweep_rates(paper_group, points=3, hi_fraction=0.8)
+        warm = solve_sweep(paper_group, lams, method="kkt", warm_start=True)
+        cold = solve_sweep(paper_group, lams, method="kkt", warm_start=False)
+        for w, c in zip(warm, cold):
+            assert w.mean_response_time == c.mean_response_time
+            np.testing.assert_array_equal(w.generic_rates, c.generic_rates)

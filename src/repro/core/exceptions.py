@@ -16,6 +16,8 @@ __all__ = [
     "InfeasibleError",
     "ConvergenceError",
     "SimulationError",
+    "ClusterDownError",
+    "SolverTimeoutError",
 ]
 
 
@@ -85,3 +87,36 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class ClusterDownError(ReproError, RuntimeError):
+    """Every server in the group is marked down.
+
+    There is no active subgroup to optimize over and no destination to
+    route to; the only safe control action is to shed all generic load
+    until at least one server recovers.  Distinct from
+    :class:`ParameterError` so a resilience layer can recognize a dark
+    cluster and degrade deliberately instead of treating it as a caller
+    bug.
+    """
+
+    def __init__(self, message: str, *, n_servers: int | None = None) -> None:
+        super().__init__(message)
+        #: Size of the (fully down) group, when known.
+        self.n_servers = n_servers
+
+
+class SolverTimeoutError(ConvergenceError):
+    """A solver invocation exceeded its latency budget.
+
+    From the control plane's perspective a solve that misses its
+    deadline is indistinguishable from one that never converges: the
+    decision point has passed.  Subclasses :class:`ConvergenceError` so
+    generic solver-fault handling catches both; carries the observed
+    (or injected) latency for incident records.
+    """
+
+    def __init__(self, message: str, *, latency: float | None = None) -> None:
+        super().__init__(message)
+        #: Seconds the solve took (or would have taken), when known.
+        self.latency = latency

@@ -66,6 +66,55 @@ def rate_for_multiplier(
     return float(brentq(f, 0.0, hi, xtol=_XTOL, rtol=8.9e-16))
 
 
+def _equalizing_repair(rates_for, phi, rates, resid, total_rate):
+    """Budget repair that preserves marginal-cost equalization.
+
+    A server whose marginal-cost curve is numerically flat near its
+    optimum makes the group total ``F(phi)`` jump across a multiplier
+    window narrower than any practical ``xtol``: the outer root-finder
+    then terminates on one side of the jump with a macroscopic budget
+    residual.  Rescaling every rate proportionally would close the
+    budget but misprice the *steep* servers (their marginals move).
+    Instead, bracket the jump down to float resolution and interpolate
+    the two endpoint rate vectors component-wise — only the flat
+    servers, whose marginals are insensitive by construction, absorb
+    the correction, so the KKT equal-marginal property survives.
+    """
+    # Find the other side of the jump by geometric phi stepping.
+    direction = -1.0 if resid > 0.0 else 1.0
+    step = max(abs(phi) * 1e-15, 1e-300)
+    a, ra, ea = phi, rates, resid
+    b, rb, eb = phi, rates, resid
+    for _ in range(200):
+        b = a + direction * step
+        rb = rates_for(b)
+        eb = float(rb.sum()) - total_rate
+        if eb == 0.0:
+            return rb
+        if (eb > 0.0) != (ea > 0.0):
+            break
+        step *= 2.0
+    else:  # pragma: no cover - excess is monotone, a bracket must exist
+        return rates
+    # Shrink the bracket until phi hits float resolution.
+    for _ in range(200):
+        mid = 0.5 * (a + b)
+        if mid == a or mid == b:
+            break
+        rm = rates_for(mid)
+        em = float(rm.sum()) - total_rate
+        if em == 0.0:
+            return rm
+        if (em > 0.0) == (ea > 0.0):
+            a, ra, ea = mid, rm, em
+        else:
+            b, rb, eb = mid, rm, em
+    # ea and eb have opposite signs, so t lies in [0, 1] and the
+    # interpolated vector meets the budget exactly (up to roundoff).
+    t = ea / (ea - eb)
+    return ra + t * (rb - ra)
+
+
 def solve_kkt(
     group: BladeServerGroup,
     total_rate: float,
@@ -127,6 +176,9 @@ def solve_kkt(
         brentq(excess, phi_lo * (1.0 - 1e-12), phi_hi, xtol=xtol, rtol=8.9e-16)
     )
     rates = rates_for(phi)
+    resid = float(rates.sum()) - total_rate
+    if abs(resid) > 1e-11 * max(total_rate, 1.0):
+        rates = _equalizing_repair(rates_for, phi, rates, resid, total_rate)
     s = rates.sum()
     if s > 0.0:
         rates = rates * (total_rate / s)

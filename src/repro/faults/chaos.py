@@ -1,0 +1,374 @@
+"""Chaos acceptance harness: closed-loop runs under randomized faults.
+
+:func:`run_chaos` drives :func:`~repro.runtime.loop.run_closed_loop`
+under one randomized-but-reproducible fault schedule per seed and
+audits each run against the resilience contract:
+
+* the run completes — no exception escapes the control loop;
+* the invariant watchdog never fires (weights normalized, exact zeros
+  on down servers, active utilizations under the ρ-cap);
+* no generic task is admitted to a server after its down signal was
+  delivered and before its up signal;
+* after the last fault window closes (plus a settle interval), the
+  measured mean generic response time re-converges to the analytic
+  optimum ``T'`` of the healed system.
+
+The per-seed :class:`ChaosRunRecord` and the aggregate
+:class:`ChaosSuiteReport` are plain data with ``to_dict`` methods, so a
+CI job can archive the full evidence trail as a JSON artifact
+(:func:`dump_chaos_artifacts`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.server import BladeServerGroup
+from ..core.solvers import optimize_load_distribution
+from ..runtime.loop import RuntimeConfig, run_closed_loop
+from ..workloads.traces import RateTrace
+from .injectors import FaultPlan
+from .schedule import FaultSchedule, random_fault_schedule
+
+__all__ = [
+    "ChaosRunRecord",
+    "ChaosSuiteReport",
+    "run_chaos",
+    "dump_chaos_artifacts",
+]
+
+
+@dataclass(frozen=True)
+class ChaosRunRecord:
+    """Audit of one seeded chaos run."""
+
+    #: The seed (drives the schedule, the injections, and the sim).
+    seed: int
+    #: The schedule the run was subjected to (declarative form).
+    schedule: dict
+    #: Whether the closed loop ran to the horizon without an exception.
+    completed: bool
+    #: The escaped exception, when ``completed`` is False.
+    error: str | None
+    #: Invariant-watchdog violations recorded by the supervisor.
+    watchdog_violations: int = 0
+    #: Generic tasks admitted to a server inside a delivered down
+    #: window (audited post-hoc from the task log).
+    routed_to_down: int = 0
+    #: Fallback-chain sources that answered at least one decision.
+    sources_used: frozenset = frozenset()
+    #: Deepest fallback rung reached.
+    max_fallback_depth: int = 0
+    #: Incident totals per kind.
+    incident_counts: dict = field(default_factory=dict)
+    #: Retained incident records (dict form), for artifacts.
+    incidents: tuple = ()
+    #: Fraction of offered arrivals shed over the whole run.
+    shed_fraction_observed: float = 0.0
+    #: Mean generic ``T'`` over the post-fault tail window.
+    tail_mean: float = math.nan
+    #: Tasks the tail mean averages over.
+    tail_count: int = 0
+    #: The analytic optimum of the healed system.
+    analytic_t_prime: float = math.nan
+    #: ``|tail_mean - analytic| / analytic``.
+    tail_relative_error: float = math.nan
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for CI artifacts."""
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "completed": self.completed,
+            "error": self.error,
+            "watchdog_violations": self.watchdog_violations,
+            "routed_to_down": self.routed_to_down,
+            "sources_used": sorted(self.sources_used),
+            "max_fallback_depth": self.max_fallback_depth,
+            "incident_counts": dict(self.incident_counts),
+            "incidents": list(self.incidents),
+            "shed_fraction_observed": self.shed_fraction_observed,
+            "tail_mean": self.tail_mean,
+            "tail_count": self.tail_count,
+            "analytic_t_prime": self.analytic_t_prime,
+            "tail_relative_error": self.tail_relative_error,
+        }
+
+
+@dataclass(frozen=True)
+class ChaosSuiteReport:
+    """Aggregate verdict over every seeded chaos run."""
+
+    records: tuple[ChaosRunRecord, ...]
+    analytic_t_prime: float
+
+    @property
+    def n_runs(self) -> int:
+        """Number of seeded runs in the suite."""
+        return len(self.records)
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether every run finished without an escaped exception."""
+        return all(r.completed for r in self.records)
+
+    @property
+    def failed_seeds(self) -> tuple[int, ...]:
+        """Seeds whose runs raised."""
+        return tuple(r.seed for r in self.records if not r.completed)
+
+    @property
+    def total_watchdog_violations(self) -> int:
+        """Watchdog violations summed over all runs."""
+        return sum(r.watchdog_violations for r in self.records)
+
+    @property
+    def total_routed_to_down(self) -> int:
+        """Down-server routing audit failures summed over all runs."""
+        return sum(r.routed_to_down for r in self.records)
+
+    @property
+    def sources_used(self) -> frozenset:
+        """Union of fallback sources exercised across the suite."""
+        out: set = set()
+        for r in self.records:
+            out |= set(r.sources_used)
+        return frozenset(out)
+
+    @property
+    def tail_means(self) -> np.ndarray:
+        """Post-fault tail means of the completed runs."""
+        return np.array(
+            [r.tail_mean for r in self.records if r.completed], dtype=float
+        )
+
+    def tail_confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Replication CI over the per-seed post-fault tail means."""
+        from scipy import stats as scipy_stats
+
+        means = self.tail_means
+        if means.size < 2:
+            raise ParameterError("need >= 2 completed runs for a replication CI")
+        center = float(np.mean(means))
+        half = float(
+            scipy_stats.t.ppf(0.5 + confidence / 2.0, df=means.size - 1)
+            * np.std(means, ddof=1)
+            / math.sqrt(means.size)
+        )
+        return center - half, center + half
+
+    def reconverged(self, confidence: float = 0.95) -> bool:
+        """Whether the analytic ``T'`` lies inside the replication CI."""
+        lo, hi = self.tail_confidence_interval(confidence)
+        return lo <= self.analytic_t_prime <= hi
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for CI artifacts."""
+        return {
+            "n_runs": self.n_runs,
+            "all_completed": self.all_completed,
+            "failed_seeds": list(self.failed_seeds),
+            "total_watchdog_violations": self.total_watchdog_violations,
+            "total_routed_to_down": self.total_routed_to_down,
+            "sources_used": sorted(self.sources_used),
+            "analytic_t_prime": self.analytic_t_prime,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def render(self) -> str:
+        """Human-readable per-seed summary table."""
+        lines = [
+            f"{'seed':>5} {'ok':>3} {'viol':>5} {'down-rt':>7} {'depth':>5} "
+            f"{'shed':>6} {'tail T_':>9} {'rel.err':>8}  sources"
+        ]
+        for r in self.records:
+            lines.append(
+                f"{r.seed:>5} {'y' if r.completed else 'N':>3} "
+                f"{r.watchdog_violations:>5} {r.routed_to_down:>7} "
+                f"{r.max_fallback_depth:>5} {r.shed_fraction_observed:>6.3f} "
+                f"{r.tail_mean:>9.4f} {r.tail_relative_error:>8.4f}  "
+                + ",".join(sorted(r.sources_used))
+            )
+        lines.append(
+            f"analytic T' = {self.analytic_t_prime:.5f}; sources used: "
+            + ", ".join(sorted(self.sources_used))
+        )
+        return "\n".join(lines)
+
+
+def _down_intervals(timeline: Sequence[tuple[float, int, str]], horizon: float):
+    """Per-server delivered-signal down windows from a health timeline."""
+    intervals: dict[int, list[tuple[float, float]]] = {}
+    open_at: dict[int, float] = {}
+    for t, server, kind in sorted(timeline):
+        if kind == "down":
+            open_at.setdefault(server, t)
+        elif kind == "up" and server in open_at:
+            intervals.setdefault(server, []).append((open_at.pop(server), t))
+    for server, t in open_at.items():
+        intervals.setdefault(server, []).append((t, horizon))
+    return intervals
+
+
+def _audit_routing(out, timeline, horizon: float) -> int:
+    """Count generic tasks admitted inside a delivered down window."""
+    intervals = _down_intervals(timeline, horizon)
+    if not intervals:
+        return 0
+    bad = 0
+    for task in out.sim.task_log:
+        if task.task_class.name != "GENERIC":
+            continue
+        for lo, hi in intervals.get(task.server_index, ()):
+            # Strictly inside: a task arriving at the very instant the
+            # signal is delivered may legitimately precede it in the
+            # event order.
+            if lo + 1e-9 < task.arrival_time < hi:
+                bad += 1
+                break
+    return bad
+
+
+def run_chaos(
+    group: BladeServerGroup,
+    rate: float,
+    *,
+    seeds: Sequence[int],
+    horizon: float,
+    config: RuntimeConfig | None = None,
+    schedule_factory: Callable[[int], FaultSchedule] | None = None,
+    settle: float | None = None,
+    quiet_tail: float = 0.35,
+    max_faults: int = 5,
+    allow_cluster_down: bool = True,
+) -> ChaosSuiteReport:
+    """Run the chaos acceptance suite and return the audited report.
+
+    Parameters
+    ----------
+    group, rate:
+        The cluster and the (stationary) offered generic rate.
+    seeds:
+        One closed-loop run per seed; the seed drives the fault
+        schedule, every injection coin flip, and the simulator streams.
+    horizon:
+        Simulated length of each run.
+    config:
+        Runtime tuning; defaults to the supervised alias-router setup
+        the closed-loop validation uses.
+    schedule_factory:
+        Optional ``seed -> FaultSchedule`` override (crafted schedules
+        for targeted tests); defaults to
+        :func:`~repro.faults.schedule.random_fault_schedule`.
+    settle:
+        Time after the last fault window before the re-convergence
+        tail starts; defaults to 30% of the post-fault stretch.
+    quiet_tail, max_faults, allow_cluster_down:
+        Forwarded to :func:`random_fault_schedule`.
+    """
+    if config is None:
+        config = RuntimeConfig(router="alias")
+    analytic = optimize_load_distribution(
+        group, rate, config.discipline
+    ).mean_response_time
+    records: list[ChaosRunRecord] = []
+    for seed in seeds:
+        if schedule_factory is not None:
+            schedule = schedule_factory(seed)
+        else:
+            schedule = random_fault_schedule(
+                group.n,
+                horizon,
+                seed,
+                quiet_tail=quiet_tail,
+                max_faults=max_faults,
+                allow_cluster_down=allow_cluster_down,
+            )
+        plan = FaultPlan(schedule)
+        try:
+            out = run_closed_loop(
+                group,
+                RateTrace.constant(rate),
+                config,
+                horizon=horizon,
+                warmup=0.0,
+                seed=seed,
+                fault_plan=plan,
+                collect_tasks=True,
+            )
+        except Exception as exc:  # noqa: BLE001 - the suite must report, not die
+            records.append(
+                ChaosRunRecord(
+                    seed=seed,
+                    schedule=schedule.to_dict(),
+                    completed=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    analytic_t_prime=analytic,
+                )
+            )
+            continue
+        fault_end = schedule.last_fault_end
+        pad = settle if settle is not None else 0.3 * (horizon - fault_end)
+        tail_start = min(fault_end + pad, horizon * 0.95)
+        tail = [
+            t.response_time
+            for t in out.sim.task_log
+            if t.task_class.name == "GENERIC" and t.arrival_time >= tail_start
+        ]
+        tail_mean = float(np.mean(tail)) if tail else math.nan
+        metrics = out.metrics
+        records.append(
+            ChaosRunRecord(
+                seed=seed,
+                schedule=schedule.to_dict(),
+                completed=True,
+                error=None,
+                watchdog_violations=metrics.counters.watchdog_violations,
+                routed_to_down=_audit_routing(out, plan.health_timeline, horizon),
+                sources_used=metrics.fallback_depth.sources_used,
+                max_fallback_depth=metrics.fallback_depth.max_depth,
+                incident_counts=dict(metrics.incidents.counts),
+                incidents=tuple(r.to_dict() for r in metrics.incidents),
+                shed_fraction_observed=metrics.shed_fraction_observed,
+                tail_mean=tail_mean,
+                tail_count=len(tail),
+                analytic_t_prime=analytic,
+                tail_relative_error=(
+                    abs(tail_mean - analytic) / analytic if tail else math.nan
+                ),
+            )
+        )
+    return ChaosSuiteReport(records=tuple(records), analytic_t_prime=analytic)
+
+
+def dump_chaos_artifacts(report: ChaosSuiteReport, directory: str) -> list[str]:
+    """Write the suite report and per-seed incident logs as JSON files.
+
+    The CI chaos job uploads this directory as a build artifact when
+    the suite fails, so the full incident trail ships with the red
+    build.  Returns the written paths.
+    """
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    summary = os.path.join(directory, "chaos_report.json")
+    with open(summary, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+    paths.append(summary)
+    for record in report.records:
+        path = os.path.join(directory, f"incidents_seed_{record.seed}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"seed": record.seed, "incidents": list(record.incidents)},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        paths.append(path)
+    return paths

@@ -1,0 +1,272 @@
+"""Seeded fault injectors: schedules realized against runtime seams.
+
+Each injector consumes the windows of one fault family from a
+:class:`~repro.faults.schedule.FaultSchedule` and attaches to the seam
+the runtime already exposes for it:
+
+* :class:`SolverFaultInjector` wraps the controller's ``solve_fn``
+  (see :class:`~repro.runtime.controller.ResolveController`);
+* :class:`FaultyRateEstimator` decorates a
+  :class:`~repro.runtime.estimator.RateEstimator`;
+* :func:`health_control_events` compiles health-plane faults (downs,
+  flaps, correlated outages, delayed signals) into the engine's
+  scheduled-control event list.
+
+:class:`FaultPlan` bundles the three and is the one object the
+closed-loop harness needs: ``run_closed_loop(..., fault_plan=plan)``.
+
+Determinism: every probabilistic decision draws from a generator
+derived from the schedule's seed via independent spawned streams, so a
+``(schedule, simulation seed)`` pair replays exactly — same injected
+faults, same incidents, same measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..core.exceptions import ConvergenceError, ParameterError, SolverTimeoutError
+from ..runtime.estimator import RateEstimator
+from ..sim.rng import StreamFactory
+from .schedule import (
+    ESTIMATOR_FAULT_KINDS,
+    HEALTH_FAULT_KINDS,
+    SOLVER_FAULT_KINDS,
+    FaultSchedule,
+    FaultSpec,
+)
+
+__all__ = [
+    "SolverFaultInjector",
+    "FaultyRateEstimator",
+    "health_control_events",
+    "FaultPlan",
+]
+
+Clock = Callable[[], float]
+
+
+def _spec_targets_method(spec: FaultSpec, method: str) -> bool:
+    methods = spec.params.get("methods")
+    return methods is None or method in methods
+
+
+class SolverFaultInjector:
+    """Raises injected solver faults according to schedule windows.
+
+    Wraps the controller's solver callable: inside an active window a
+    call whose backend matches the spec's ``methods`` scope fails with
+    probability ``p`` — :class:`ConvergenceError` for ``solver-error``
+    windows, :class:`SolverTimeoutError` for ``solver-latency`` ones.
+    Calls outside every window pass straight through.
+    """
+
+    def __init__(self, specs, rng, clock: Clock) -> None:
+        self._specs = tuple(specs)
+        for spec in self._specs:
+            if spec.kind not in SOLVER_FAULT_KINDS:
+                raise ParameterError(
+                    f"solver injector got a {spec.kind!r} spec"
+                )
+        self._rng = rng
+        self._clock = clock
+        #: Faults actually raised, as ``(time, kind, method)`` — the
+        #: chaos report uses this to prove injection really happened.
+        self.injected: list[tuple[float, str, str]] = []
+
+    def wrap(self, solve_fn):
+        """Return a solver callable with fault injection applied."""
+
+        def faulty_solve(group, total_rate, discipline, method="auto", **kwargs):
+            now = self._clock()
+            for spec in self._specs:
+                if not spec.active(now) or not _spec_targets_method(spec, method):
+                    continue
+                if self._rng.random() >= spec.params.get("p", 1.0):
+                    continue
+                self.injected.append((now, spec.kind, method))
+                if spec.kind == "solver-latency":
+                    latency = spec.params.get("latency", 1.0)
+                    raise SolverTimeoutError(
+                        f"injected solver timeout ({latency:.3g}s) for "
+                        f"method={method!r} at t={now:.6g}",
+                        latency=latency,
+                    )
+                raise ConvergenceError(
+                    f"injected solver failure for method={method!r} at t={now:.6g}"
+                )
+            return solve_fn(group, total_rate, discipline, method=method, **kwargs)
+
+        return faulty_solve
+
+
+class FaultyRateEstimator(RateEstimator):
+    """Decorates a rate estimator with noise, bias, and dropout windows.
+
+    * ``estimator-dropout``: arrival observations are dropped with
+      probability ``p`` while the window is active (telemetry loss —
+      the inner estimator under-reads).
+    * ``estimator-bias``: estimates are multiplied by ``factor``.
+    * ``estimator-noise``: estimates are multiplied by
+      ``max(0.05, 1 + sigma * N(0, 1))`` — fresh draw per query.
+
+    Bias and noise compose when windows overlap.  The decorated
+    estimate is floored at a tiny positive value so a hostile window
+    can never hand the planner a non-positive rate.
+    """
+
+    def __init__(self, inner: RateEstimator, specs, rng, clock: Clock) -> None:
+        self._inner = inner
+        self._specs = tuple(specs)
+        for spec in self._specs:
+            if spec.kind not in ESTIMATOR_FAULT_KINDS:
+                raise ParameterError(
+                    f"estimator injector got a {spec.kind!r} spec"
+                )
+        self._rng = rng
+        self._clock = clock
+        #: Observations dropped by dropout windows.
+        self.dropped: int = 0
+
+    def observe(self, now: float) -> None:
+        for spec in self._specs:
+            if (
+                spec.kind == "estimator-dropout"
+                and spec.active(now)
+                and self._rng.random() < spec.params.get("p", 1.0)
+            ):
+                self.dropped += 1
+                return
+        self._inner.observe(now)
+
+    def estimate(self, now: float) -> float:
+        value = self._inner.estimate(now)
+        for spec in self._specs:
+            if not spec.active(now):
+                continue
+            if spec.kind == "estimator-bias":
+                value *= spec.params.get("factor", 1.5)
+            elif spec.kind == "estimator-noise":
+                sigma = spec.params.get("sigma", 0.2)
+                value *= max(0.05, 1.0 + sigma * float(self._rng.standard_normal()))
+        return max(value, 1e-12)
+
+    def reset(self, now: float = 0.0) -> None:
+        self._inner.reset(now)
+
+
+def health_control_events(
+    specs, runtime, *, horizon: float
+) -> tuple[list, list[tuple[float, int, str]]]:
+    """Compile health-plane fault specs into engine control events.
+
+    Returns ``(events, timeline)``: ``events`` is the ``(time, action)``
+    list for :class:`~repro.sim.engine.GroupSimulation`, each action
+    delivering a ``server_down`` / ``server_up`` signal to the runtime;
+    ``timeline`` is the same sequence as auditable
+    ``(time, server, "down" | "up")`` records.  ``delay`` parameters
+    shift delivery later than the spec's window edges (detection
+    latency); flap windows expand into a deterministic down/up square
+    wave that always ends with the server up.
+    """
+    signals: list[tuple[float, int, str]] = []
+
+    for spec in specs:
+        if spec.kind not in HEALTH_FAULT_KINDS:
+            raise ParameterError(f"health injector got a {spec.kind!r} spec")
+        if spec.kind == "server-down":
+            index = int(spec.params["server"])
+            delay = spec.params.get("delay", 0.0)
+            signals.append((spec.start + delay, index, "down"))
+            signals.append((spec.end + delay, index, "up"))
+        elif spec.kind == "server-flap":
+            index = int(spec.params["server"])
+            half = spec.params["period"] / 2.0
+            t, state_down = spec.start, True
+            while t < spec.end:
+                signals.append((t, index, "down" if state_down else "up"))
+                state_down = not state_down
+                t += half
+            signals.append((spec.end, index, "up"))
+        elif spec.kind == "correlated-outage":
+            for index in spec.params["servers"]:
+                signals.append((spec.start, int(index), "down"))
+                signals.append((spec.end, int(index), "up"))
+    signals = [s for s in signals if s[0] < horizon and math.isfinite(s[0])]
+    signals.sort(key=lambda s: s[0])
+
+    def deliver(index: int, kind: str):
+        def action(sim, now: float) -> None:
+            if kind == "down":
+                runtime.server_down(index, now)
+            else:
+                runtime.server_up(index, now)
+
+        return action
+
+    events = [(t, deliver(index, kind)) for t, index, kind in signals]
+    return events, signals
+
+
+class FaultPlan:
+    """A schedule bound to injectors, ready to attach to a runtime.
+
+    The closed-loop harness consumes this through three hooks:
+
+    * :meth:`wrap_solver` is applied to the controller's solver
+      callable at runtime construction,
+    * :meth:`wrap_estimator` decorates the rate estimator,
+    * :meth:`health_controls` yields scheduled engine control events.
+
+    :meth:`bind_clock` must be called (the harness does) before any
+    injected component runs, so injectors read the simulation clock.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        streams = StreamFactory(schedule.seed)
+        self._solver_rng = streams.stream("solver-faults")
+        self._estimator_rng = streams.stream("estimator-faults")
+        self._clock_fn: Clock | None = None
+        self.solver_injector = SolverFaultInjector(
+            schedule.of_kinds(SOLVER_FAULT_KINDS), self._solver_rng, self._now
+        )
+        self._estimator_specs = schedule.of_kinds(ESTIMATOR_FAULT_KINDS)
+        self._health_specs = schedule.of_kinds(HEALTH_FAULT_KINDS)
+        self.faulty_estimator: FaultyRateEstimator | None = None
+        #: Delivered health signals ``(time, server, kind)`` — filled
+        #: by :meth:`health_controls`, audited by the chaos harness.
+        self.health_timeline: list[tuple[float, int, str]] = []
+
+    def _now(self) -> float:
+        if self._clock_fn is None:
+            return 0.0
+        return self._clock_fn()
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Point the injectors at the simulation clock."""
+        self._clock_fn = clock
+
+    def wrap_solver(self, solve_fn):
+        """Solver callable with this plan's solver faults applied."""
+        if not self.solver_injector._specs:
+            return solve_fn
+        return self.solver_injector.wrap(solve_fn)
+
+    def wrap_estimator(self, estimator: RateEstimator) -> RateEstimator:
+        """Estimator decorated with this plan's estimator faults."""
+        if not self._estimator_specs:
+            return estimator
+        self.faulty_estimator = FaultyRateEstimator(
+            estimator, self._estimator_specs, self._estimator_rng, self._now
+        )
+        return self.faulty_estimator
+
+    def health_controls(self, runtime, horizon: float) -> list:
+        """Scheduled health-plane control events for the engine."""
+        events, timeline = health_control_events(
+            self._health_specs, runtime, horizon=horizon
+        )
+        self.health_timeline = timeline
+        return events

@@ -1,0 +1,322 @@
+"""Declarative, reproducible fault schedules in simulated time.
+
+A chaos experiment is only evidence if it can be re-run: the same
+schedule and the same seeds must produce the same injected faults, the
+same control decisions, and the same incident log.  This module is the
+declarative layer that makes that possible — a :class:`FaultSpec` is a
+pure-data description of one fault window, a :class:`FaultSchedule` is
+a validated, seeded collection of them, and
+:func:`random_fault_schedule` derives a randomized-but-reproducible
+schedule from a single integer seed.
+
+Fault kinds
+-----------
+
+``solver-error``
+    Solver invocations inside the window raise
+    :class:`~repro.core.exceptions.ConvergenceError` with probability
+    ``p`` (default 1).  ``methods`` restricts the fault to specific
+    backend names, so a schedule can break the primary backend while
+    leaving the scalar-bisection fallback rung healthy.
+``solver-latency``
+    Solver invocations inside the window miss their deadline: they
+    raise :class:`~repro.core.exceptions.SolverTimeoutError` carrying
+    the injected ``latency``.  Also scoped by ``methods`` and ``p``.
+``estimator-noise``
+    Rate estimates inside the window are multiplied by a lognormal-ish
+    factor ``max(eps, 1 + sigma * N(0,1))``.
+``estimator-bias``
+    Rate estimates inside the window are multiplied by ``factor``
+    (``2.0`` = the estimator reads double the true rate).
+``estimator-dropout``
+    Arrival observations inside the window are dropped with
+    probability ``p`` — telemetry loss; the estimator under-reads.
+``server-down``
+    Server ``server`` fails at ``start`` and recovers at ``end``.
+    ``delay`` shifts *signal delivery* (both edges) later, modelling
+    detection latency in the health plane.
+``server-flap``
+    Server ``server`` flaps: down at ``start``, then toggling every
+    ``period/2`` until ``end``, where it is forced back up.
+``correlated-outage``
+    Every server in ``servers`` fails at ``start`` and recovers at
+    ``end`` — rack/switch-level correlated failure.  Listing all
+    servers produces a dark cluster and exercises the
+    :class:`~repro.core.exceptions.ClusterDownError` shed-all path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+
+__all__ = [
+    "SOLVER_FAULT_KINDS",
+    "ESTIMATOR_FAULT_KINDS",
+    "HEALTH_FAULT_KINDS",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultSchedule",
+    "random_fault_schedule",
+]
+
+SOLVER_FAULT_KINDS = frozenset({"solver-error", "solver-latency"})
+ESTIMATOR_FAULT_KINDS = frozenset(
+    {"estimator-noise", "estimator-bias", "estimator-dropout"}
+)
+HEALTH_FAULT_KINDS = frozenset({"server-down", "server-flap", "correlated-outage"})
+FAULT_KINDS = SOLVER_FAULT_KINDS | ESTIMATOR_FAULT_KINDS | HEALTH_FAULT_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window: what goes wrong, when, and how badly.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS` (see the module docstring).
+    start, end:
+        Simulation-time window ``[start, end)`` the fault is active in
+        (``0 <= start < end``, both finite).
+    params:
+        Kind-specific parameters; validated in ``__post_init__``.
+    """
+
+    kind: str
+    start: float
+    end: float
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ParameterError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}"
+            )
+        if not (
+            math.isfinite(self.start)
+            and math.isfinite(self.end)
+            and 0.0 <= self.start < self.end
+        ):
+            raise ParameterError(
+                f"need finite 0 <= start < end, got [{self.start!r}, {self.end!r})"
+            )
+        p = self.params
+        prob = p.get("p", 1.0)
+        if not (0.0 < prob <= 1.0):
+            raise ParameterError(f"fault probability p must be in (0, 1], got {prob!r}")
+        if self.kind == "solver-latency":
+            lat = p.get("latency", 1.0)
+            if not (math.isfinite(lat) and lat > 0.0):
+                raise ParameterError(f"latency must be > 0, got {lat!r}")
+        if self.kind == "estimator-noise":
+            sigma = p.get("sigma", 0.2)
+            if not (math.isfinite(sigma) and sigma > 0.0):
+                raise ParameterError(f"sigma must be > 0, got {sigma!r}")
+        if self.kind == "estimator-bias":
+            factor = p.get("factor", 1.5)
+            if not (math.isfinite(factor) and factor > 0.0):
+                raise ParameterError(f"bias factor must be > 0, got {factor!r}")
+        if self.kind in ("server-down", "server-flap"):
+            if "server" not in p:
+                raise ParameterError(f"{self.kind!r} needs a 'server' index")
+            delay = p.get("delay", 0.0)
+            if not (math.isfinite(delay) and delay >= 0.0):
+                raise ParameterError(f"delay must be >= 0, got {delay!r}")
+        if self.kind == "server-flap":
+            period = p.get("period", 0.0)
+            if not (math.isfinite(period) and period > 0.0):
+                raise ParameterError(f"flap period must be > 0, got {period!r}")
+        if self.kind == "correlated-outage":
+            servers = p.get("servers")
+            if not servers:
+                raise ParameterError(
+                    "'correlated-outage' needs a non-empty 'servers' sequence"
+                )
+        methods = p.get("methods")
+        if methods is not None and (
+            not isinstance(methods, (tuple, list)) or not methods
+        ):
+            raise ParameterError(
+                f"'methods' must be a non-empty sequence of names, got {methods!r}"
+            )
+
+    def active(self, now: float) -> bool:
+        """Whether the window covers simulation time ``now``."""
+        return self.start <= now < self.end
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (round-trips through :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(
+            kind=data["kind"],
+            start=float(data["start"]),
+            end=float(data["end"]),
+            params=dict(data.get("params", {})),
+        )
+
+
+class FaultSchedule:
+    """A seeded, ordered collection of :class:`FaultSpec` windows.
+
+    The ``seed`` covers every *probabilistic* aspect of injection
+    (error coin flips, noise draws, dropout); the windows themselves
+    are deterministic.  Together they pin the whole chaos experiment.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], seed: int = 0) -> None:
+        self._specs = tuple(sorted(specs, key=lambda s: (s.start, s.end, s.kind)))
+        for spec in self._specs:
+            if not isinstance(spec, FaultSpec):
+                raise ParameterError(
+                    f"schedule entries must be FaultSpec, got {type(spec).__name__}"
+                )
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self._specs)
+
+    @property
+    def specs(self) -> tuple[FaultSpec, ...]:
+        """All windows, ordered by start time."""
+        return self._specs
+
+    def of_kinds(self, kinds: frozenset[str] | Sequence[str]) -> tuple[FaultSpec, ...]:
+        """The windows whose kind is in ``kinds``, ordered."""
+        wanted = frozenset(kinds)
+        return tuple(s for s in self._specs if s.kind in wanted)
+
+    @property
+    def last_fault_end(self) -> float:
+        """When the last window closes (0 for an empty schedule)."""
+        return max((s.end for s in self._specs), default=0.0)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (round-trips through :meth:`from_dict`)."""
+        return {"seed": self.seed, "specs": [s.to_dict() for s in self._specs]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_dict` output."""
+        return cls(
+            (FaultSpec.from_dict(s) for s in data.get("specs", ())),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+def random_fault_schedule(
+    n_servers: int,
+    horizon: float,
+    seed: int,
+    *,
+    quiet_tail: float = 0.35,
+    max_faults: int = 5,
+    allow_cluster_down: bool = True,
+) -> FaultSchedule:
+    """Draw a randomized-but-reproducible chaos schedule.
+
+    Every window closes before ``(1 - quiet_tail) * horizon``, so the
+    final ``quiet_tail`` fraction of the run is fault-free — the
+    re-convergence window the chaos acceptance suite measures ``T'``
+    over.  The same ``(n_servers, horizon, seed)`` triple always yields
+    the same schedule.
+
+    Parameters
+    ----------
+    n_servers:
+        Size of the server group (health faults pick indices in range).
+    horizon:
+        Length of the simulated run the schedule is meant for.
+    seed:
+        The single integer that pins the draw *and* becomes the
+        schedule's injection seed.
+    quiet_tail:
+        Fraction of the horizon kept fault-free at the end.
+    max_faults:
+        Upper bound on the number of windows (at least 2 are drawn).
+    allow_cluster_down:
+        Whether a full-cluster correlated outage may be drawn.
+    """
+    if n_servers < 1:
+        raise ParameterError(f"n_servers must be >= 1, got {n_servers}")
+    if not (math.isfinite(horizon) and horizon > 0.0):
+        raise ParameterError(f"horizon must be finite and > 0, got {horizon!r}")
+    if not (0.0 < quiet_tail < 1.0):
+        raise ParameterError(f"quiet_tail must be in (0, 1), got {quiet_tail!r}")
+    if max_faults < 2:
+        raise ParameterError(f"max_faults must be >= 2, got {max_faults}")
+    rng = np.random.default_rng(seed)
+    fault_end = (1.0 - quiet_tail) * horizon
+    kinds = [
+        "solver-error",
+        "solver-latency",
+        "estimator-noise",
+        "estimator-bias",
+        "estimator-dropout",
+        "server-down",
+        "server-flap",
+    ]
+    if n_servers >= 2:
+        kinds.append("correlated-outage")
+    n_faults = int(rng.integers(2, max_faults + 1))
+    specs: list[FaultSpec] = []
+    for _ in range(n_faults):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        start = float(rng.uniform(0.05, 0.75) * fault_end)
+        length = float(rng.uniform(0.05, 0.25) * fault_end)
+        end = min(start + max(length, 1e-6), fault_end)
+        if end <= start:
+            continue
+        params: dict = {}
+        if kind == "solver-error":
+            # Half the draws break only the primary path (exercising the
+            # bisection rung); the other half break every backend
+            # (exercising the proportional rung).
+            if rng.random() < 0.5:
+                params["methods"] = ("kkt", "vectorized", "closed-form")
+            params["p"] = float(rng.uniform(0.6, 1.0))
+        elif kind == "solver-latency":
+            params["latency"] = float(rng.uniform(0.5, 5.0))
+            if rng.random() < 0.5:
+                params["methods"] = ("kkt", "vectorized", "closed-form")
+        elif kind == "estimator-noise":
+            params["sigma"] = float(rng.uniform(0.05, 0.4))
+        elif kind == "estimator-bias":
+            params["factor"] = float(rng.choice([0.5, 0.75, 1.25, 1.5, 2.0]))
+        elif kind == "estimator-dropout":
+            params["p"] = float(rng.uniform(0.2, 0.8))
+        elif kind == "server-down":
+            params["server"] = int(rng.integers(n_servers))
+            if rng.random() < 0.3:
+                params["delay"] = float(rng.uniform(0.0, 0.02 * horizon))
+        elif kind == "server-flap":
+            params["server"] = int(rng.integers(n_servers))
+            params["period"] = float(rng.uniform(0.04, 0.12) * (end - start)) * 2.0
+        elif kind == "correlated-outage":
+            k = int(rng.integers(2, n_servers + 1))
+            if k == n_servers and not allow_cluster_down:
+                k = n_servers - 1
+            chosen = rng.choice(n_servers, size=k, replace=False)
+            params["servers"] = tuple(int(i) for i in sorted(chosen))
+            # A dark or near-dark cluster sheds heavily; keep the
+            # outage short so queues drain well inside the run.
+            end = min(start + 0.08 * fault_end, fault_end)
+        specs.append(FaultSpec(kind=kind, start=start, end=end, params=params))
+    return FaultSchedule(specs, seed=seed)

@@ -48,7 +48,16 @@ from .loop import (
     RuntimeConfig,
     run_closed_loop,
 )
-from .metrics import LogHistogram, RateGauges, RuntimeCounters, RuntimeMetrics
+from .metrics import (
+    FallbackDepthCounters,
+    IncidentLog,
+    IncidentRecord,
+    LogHistogram,
+    RateGauges,
+    RuntimeCounters,
+    RuntimeMetrics,
+    ShedTracker,
+)
 from .router import (
     AliasTableRouter,
     SmoothWeightedRoundRobinRouter,
@@ -62,7 +71,10 @@ __all__ = [
     "ClosedLoopResult",
     "DriftDetector",
     "EwmaRateEstimator",
+    "FallbackDepthCounters",
     "HealthTracker",
+    "IncidentLog",
+    "IncidentRecord",
     "LoadDistributionRuntime",
     "LogHistogram",
     "RateEstimator",
@@ -73,6 +85,7 @@ __all__ = [
     "RuntimeConfig",
     "RuntimeCounters",
     "RuntimeMetrics",
+    "ShedTracker",
     "SlidingWindowRateEstimator",
     "SmoothWeightedRoundRobinRouter",
     "WeightedRouter",

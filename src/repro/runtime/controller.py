@@ -92,6 +92,11 @@ class ResolveController:
         Minimum total-variation distance between the live and the new
         routing fractions for the new split to be worth adopting.  Zero
         disables hysteresis.
+    solve_fn:
+        The solver callable, with the signature of
+        :func:`~repro.core.solvers.optimize_load_distribution` (the
+        default).  The fault-injection framework substitutes a wrapped
+        callable here; production callers never need to.
     **solver_kwargs:
         Forwarded to every solver call (e.g. ``tol``).
     """
@@ -104,6 +109,7 @@ class ResolveController:
         rate_quantum: float = 0.002,
         cache_size: int = 64,
         hysteresis: float = 0.0,
+        solve_fn=None,
         **solver_kwargs,
     ) -> None:
         if not (0.0 < rate_quantum < 0.5):
@@ -117,6 +123,7 @@ class ResolveController:
         self._health = health
         self._discipline = Discipline.coerce(discipline)
         self._method = method
+        self._solve_fn = optimize_load_distribution if solve_fn is None else solve_fn
         self._quantum = float(rate_quantum)
         self._cache_size = int(cache_size)
         self.hysteresis = float(hysteresis)
@@ -149,12 +156,18 @@ class ResolveController:
         admissible = self._health.utilization_cap * plan.capacity
         return min(max(snapped, step), admissible)
 
-    def resolve(self, offered_rate: float) -> ResolveOutcome:
-        """Compute (or recall) the optimal split for an offered rate."""
+    def resolve(self, offered_rate: float, method: str | None = None) -> ResolveOutcome:
+        """Compute (or recall) the optimal split for an offered rate.
+
+        ``method`` overrides the configured backend for this one call —
+        the resilience supervisor's fallback chain steps through
+        alternative backends this way.  Overridden solves share the
+        same LRU cache (the backend name is part of the key).
+        """
         plan = self._health.plan(offered_rate)
         group = self._health.active_group()
         fingerprint = self._health.fingerprint()
-        backend = resolve_method(group, self._method)
+        backend = resolve_method(group, self._method if method is None else method)
         solved_rate = self._quantize(plan.admitted_rate, plan)
         key = (fingerprint, solved_rate, self._discipline.value, backend)
 
@@ -178,7 +191,7 @@ class ResolveController:
         ):
             kwargs["phi_hint"] = self._phi_hint
         start = time.perf_counter()
-        result = optimize_load_distribution(
+        result = self._solve_fn(
             group, solved_rate, self._discipline, method=backend, **kwargs
         )
         latency = time.perf_counter() - start

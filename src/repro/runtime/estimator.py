@@ -58,11 +58,25 @@ class RateEstimator(abc.ABC):
         """Forget all observations; restart the clock at ``now``."""
 
 
-def _check_time(now: float, last: float) -> None:
+def _check_time(now: float, last: float, tolerance: float = 0.0) -> float:
+    """Validate a timestamp against the stream's clock; return it clamped.
+
+    Replayed or merged event streams carry small timestamp jitter —
+    an observation a hair earlier than the previous one.  Deltas within
+    ``tolerance`` are clamped forward to ``last`` (the stream stays
+    monotone); gross violations still raise, because a wildly backwards
+    clock means the caller is feeding the wrong stream.
+    """
     if not math.isfinite(now):
         raise ParameterError(f"time must be finite, got {now!r}")
     if now < last:
-        raise ParameterError(f"time went backwards: {now} < {last}")
+        if last - now <= tolerance:
+            return last
+        raise ParameterError(
+            f"time went backwards: {now} < {last} "
+            f"(exceeds jitter tolerance {tolerance!r})"
+        )
+    return now
 
 
 class EwmaRateEstimator(RateEstimator):
@@ -78,9 +92,17 @@ class EwmaRateEstimator(RateEstimator):
         real observations accumulate.  Without it, the startup bias of
         the half-filled kernel is corrected by dividing by
         ``1 - exp(-(now - t0) / tau)``.
+    time_tolerance:
+        Maximum backwards timestamp jitter to clamp instead of raising
+        (see :func:`_check_time`); ``0`` restores strict monotonicity.
     """
 
-    def __init__(self, time_constant: float, initial_rate: float | None = None) -> None:
+    def __init__(
+        self,
+        time_constant: float,
+        initial_rate: float | None = None,
+        time_tolerance: float = 0.0,
+    ) -> None:
         if not (math.isfinite(time_constant) and time_constant > 0.0):
             raise ParameterError(
                 f"time_constant must be finite and > 0, got {time_constant!r}"
@@ -91,8 +113,13 @@ class EwmaRateEstimator(RateEstimator):
             raise ParameterError(
                 f"initial_rate must be finite and >= 0, got {initial_rate!r}"
             )
+        if not (math.isfinite(time_tolerance) and time_tolerance >= 0.0):
+            raise ParameterError(
+                f"time_tolerance must be finite and >= 0, got {time_tolerance!r}"
+            )
         self._tau = float(time_constant)
         self._prior = initial_rate
+        self._tol = float(time_tolerance)
         self.reset(0.0)
 
     def reset(self, now: float = 0.0) -> None:
@@ -103,13 +130,13 @@ class EwmaRateEstimator(RateEstimator):
         self._mass = self._prior if self._prior is not None else 0.0
 
     def observe(self, now: float) -> None:
-        _check_time(now, self._last)
+        now = _check_time(now, self._last, self._tol)
         self._mass *= math.exp(-(now - self._last) / self._tau)
         self._mass += 1.0 / self._tau
         self._last = now
 
     def estimate(self, now: float) -> float:
-        _check_time(now, self._last)
+        now = _check_time(now, self._last, self._tol)
         mass = self._mass * math.exp(-(now - self._last) / self._tau)
         if self._prior is not None:
             return mass
@@ -130,9 +157,17 @@ class SlidingWindowRateEstimator(RateEstimator):
         Optional prior returned while the window has not yet filled
         (blended linearly with the observed count so a cold start does
         not report a wildly wrong rate from two early arrivals).
+    time_tolerance:
+        Maximum backwards timestamp jitter to clamp instead of raising
+        (see :func:`_check_time`); ``0`` restores strict monotonicity.
     """
 
-    def __init__(self, window: float, initial_rate: float | None = None) -> None:
+    def __init__(
+        self,
+        window: float,
+        initial_rate: float | None = None,
+        time_tolerance: float = 0.0,
+    ) -> None:
         if not (math.isfinite(window) and window > 0.0):
             raise ParameterError(f"window must be finite and > 0, got {window!r}")
         if initial_rate is not None and not (
@@ -141,8 +176,13 @@ class SlidingWindowRateEstimator(RateEstimator):
             raise ParameterError(
                 f"initial_rate must be finite and >= 0, got {initial_rate!r}"
             )
+        if not (math.isfinite(time_tolerance) and time_tolerance >= 0.0):
+            raise ParameterError(
+                f"time_tolerance must be finite and >= 0, got {time_tolerance!r}"
+            )
         self._window = float(window)
         self._prior = initial_rate
+        self._tol = float(time_tolerance)
         self._times: deque[float] = deque()
         self.reset(0.0)
 
@@ -157,13 +197,13 @@ class SlidingWindowRateEstimator(RateEstimator):
             self._times.popleft()
 
     def observe(self, now: float) -> None:
-        _check_time(now, self._last)
+        now = _check_time(now, self._last, self._tol)
         self._last = now
         self._times.append(now)
         self._prune(now)
 
     def estimate(self, now: float) -> float:
-        _check_time(now, self._last)
+        now = _check_time(now, self._last, self._tol)
         self._prune(now)
         elapsed = now - self._t0
         if elapsed <= 0.0:

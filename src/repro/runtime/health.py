@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.exceptions import ParameterError
+from ..core.exceptions import ClusterDownError, ParameterError
 from ..core.server import BladeServerGroup
 
 __all__ = ["CapacityPlan", "HealthTracker"]
@@ -154,10 +154,26 @@ class HealthTracker:
 
     # -- solver-facing views ------------------------------------------------------------
 
+    @property
+    def all_down(self) -> bool:
+        """Whether every server is currently marked down."""
+        return self._active is None
+
     def active_group(self) -> BladeServerGroup:
-        """The subgroup of up servers (raises if the cluster is dark)."""
+        """The subgroup of up servers.
+
+        Raises
+        ------
+        ClusterDownError
+            When every server is down.  Callers that can degrade (the
+            resilience supervisor) catch this and shed 100% of the
+            generic load; it is not a parameter mistake.
+        """
         if self._active is None:
-            raise ParameterError("no server is up; cannot form an active group")
+            raise ClusterDownError(
+                "no server is up; cannot form an active group",
+                n_servers=self._group.n,
+            )
         return self._active
 
     def fingerprint(self) -> tuple:

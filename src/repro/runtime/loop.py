@@ -39,7 +39,7 @@ from ..workloads.traces import RateTrace
 from .controller import ResolveController
 from .estimator import DriftDetector, EwmaRateEstimator, SlidingWindowRateEstimator
 from .health import HealthTracker
-from .metrics import RuntimeMetrics
+from .metrics import IncidentRecord, RuntimeMetrics
 from .router import make_router
 
 __all__ = [
@@ -88,6 +88,34 @@ class RuntimeConfig:
         coin) — independent of the simulator's streams.
     solver_tol:
         Optional solver tolerance override.
+    supervise:
+        Whether to wrap the controller in the resilience supervisor
+        (fallback chain, circuit breaker, invariant watchdog, dark-
+        cluster shed-all).  Off restores the PR 2 trust-everything
+        behaviour: solver exceptions escape the loop.
+    fallback_methods:
+        Alternate solver backends of the supervisor's fallback chain,
+        tried in order after the primary; the capacity-proportional
+        heuristic is always the implicit last rung.
+    solver_retries:
+        Extra primary solver attempts per decision before falling
+        through the chain.
+    solver_backoff:
+        Simulated time after a primary solver fault during which new
+        decisions skip the primary entirely.
+    breaker_threshold:
+        Consecutive primary-failed decisions that open the circuit
+        breaker (pinning the last-known-good split).
+    breaker_cooldown:
+        Simulated time the breaker stays open before a half-open probe.
+    watchdog:
+        Whether the supervisor checks (and repairs) split invariants
+        before adoption.
+    rho_cap:
+        Watchdog bound on any active server's total utilization.
+    time_tolerance:
+        Backwards-timestamp jitter the rate estimators clamp instead of
+        raising on (replayed/merged event streams carry small jitter).
     """
 
     discipline: Discipline | str = Discipline.FCFS
@@ -104,6 +132,15 @@ class RuntimeConfig:
     router: str = "swrr"
     seed: int = 0
     solver_tol: float | None = None
+    supervise: bool = True
+    fallback_methods: tuple[str, ...] = ("bisection",)
+    solver_retries: int = 1
+    solver_backoff: float = 30.0
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 200.0
+    watchdog: bool = True
+    rho_cap: float = 0.995
+    time_tolerance: float = 1e-6
 
 
 @dataclass(frozen=True)
@@ -117,6 +154,12 @@ class ResolveEvent:
     shed_fraction: float
     cache_hit: bool
     adopted: bool
+    #: Provenance of the adopted split: ``"primary"``, a
+    #: ``"fallback:*"`` rung, ``"circuit-pinned"``, or
+    #: ``"cluster-down"`` (always ``"primary"`` when unsupervised).
+    source: str = "primary"
+    #: Fallback-chain depth the decision reached (0 = primary).
+    depth: int = 0
 
 
 class LoadDistributionRuntime:
@@ -135,6 +178,12 @@ class LoadDistributionRuntime:
         first split from it and seeds the rate estimator's prior.
     config:
         Tuning knobs; see :class:`RuntimeConfig`.
+    fault_plan:
+        Optional fault-injection plan (see
+        :class:`repro.faults.injectors.FaultPlan`): its solver wrapper
+        is installed into the controller, its estimator wrapper around
+        the rate estimator, and its clock is bound to this runtime.
+        Production deployments leave it ``None``.
     """
 
     def __init__(
@@ -142,12 +191,21 @@ class LoadDistributionRuntime:
         group: BladeServerGroup,
         initial_rate: float,
         config: RuntimeConfig = RuntimeConfig(),
+        fault_plan=None,
     ) -> None:
         self.config = config
+        self._now = 0.0
+        if fault_plan is not None:
+            fault_plan.bind_clock(lambda: self._now)
         self.health = HealthTracker(group, utilization_cap=config.utilization_cap)
         solver_kwargs = {}
         if config.solver_tol is not None:
             solver_kwargs["tol"] = config.solver_tol
+        solve_fn = None
+        if fault_plan is not None:
+            from ..core.solvers import optimize_load_distribution
+
+            solve_fn = fault_plan.wrap_solver(optimize_load_distribution)
         self.controller = ResolveController(
             self.health,
             discipline=config.discipline,
@@ -155,29 +213,55 @@ class LoadDistributionRuntime:
             rate_quantum=config.rate_quantum,
             cache_size=config.cache_size,
             hysteresis=config.hysteresis,
+            solve_fn=solve_fn,
             **solver_kwargs,
         )
         if config.estimator == "ewma":
             self.estimator = EwmaRateEstimator(
-                config.time_constant, initial_rate=initial_rate
+                config.time_constant,
+                initial_rate=initial_rate,
+                time_tolerance=config.time_tolerance,
             )
         elif config.estimator == "window":
             self.estimator = SlidingWindowRateEstimator(
-                config.time_constant, initial_rate=initial_rate
+                config.time_constant,
+                initial_rate=initial_rate,
+                time_tolerance=config.time_tolerance,
             )
         else:
             raise ParameterError(
                 f"unknown estimator {config.estimator!r}; use 'ewma' or 'window'"
             )
+        if fault_plan is not None:
+            self.estimator = fault_plan.wrap_estimator(self.estimator)
         self.drift = DriftDetector(
             threshold=config.drift_threshold, min_dwell=config.min_dwell
         )
         self.metrics = RuntimeMetrics.for_group_size(group.n)
+        self.supervisor = None
+        if config.supervise:
+            # Imported lazily: repro.faults itself imports runtime
+            # modules, and a module-level import here would cycle.
+            from ..faults.supervisor import ResilienceSupervisor, SupervisorConfig
+
+            self.supervisor = ResilienceSupervisor(
+                self.controller,
+                self.health,
+                self.metrics,
+                SupervisorConfig(
+                    fallback_methods=tuple(config.fallback_methods),
+                    retries=config.solver_retries,
+                    backoff=config.solver_backoff,
+                    breaker_threshold=config.breaker_threshold,
+                    breaker_cooldown=config.breaker_cooldown,
+                    rho_cap=config.rho_cap,
+                    watchdog=config.watchdog,
+                ),
+            )
         self.resolve_log: list[ResolveEvent] = []
         streams = StreamFactory(config.seed)
         self._shed_rng = streams.stream("shed")
         self._router_rng = streams.stream("router")
-        self._now = 0.0
         self._last_resolve = -math.inf
         self._shed_fraction = 0.0
         self._weights: np.ndarray | None = None
@@ -207,26 +291,65 @@ class LoadDistributionRuntime:
     def _resolve(
         self, now: float, offered_rate: float, reason: str, force: bool
     ) -> None:
-        outcome = self.controller.resolve(offered_rate)
-        adopt = force or self.controller.should_adopt(self._weights, outcome.weights)
+        if self.supervisor is not None:
+            sup = self.supervisor.resolve(now, offered_rate)
+            weights, result = sup.weights, sup.result
+            shed, solved_rate = sup.shed_fraction, sup.solved_rate
+            cache_hit, solver_ran = sup.cache_hit, sup.solver_ran
+            latency, source, depth = sup.latency, sup.source, sup.depth
+        else:
+            outcome = self.controller.resolve(offered_rate)
+            weights, result = outcome.weights, outcome.result
+            shed, solved_rate = outcome.plan.shed_fraction, outcome.solved_rate
+            cache_hit, solver_ran = outcome.cache_hit, not outcome.cache_hit
+            latency, source, depth = outcome.latency, "primary", 0
+        shed_all = shed >= 1.0
+        adopt = force or shed_all or self.controller.should_adopt(self._weights, weights)
         if adopt:
-            self._weights = outcome.weights
-            self._result = outcome.result
-            self._shed_fraction = outcome.plan.shed_fraction
-            if self._router is None:
-                self._router = make_router(
-                    self.config.router, self._weights, self._router_rng
-                )
-            else:
-                self._router.set_weights(self._weights)
+            previous_shed = self._shed_fraction
+            self._weights = weights
+            self._result = result
+            self._shed_fraction = shed
+            if not shed_all:
+                # An all-zero weight vector has no router representation
+                # (and in shed-all mode the shed coin in route() already
+                # drops every arrival before the router is consulted).
+                if self._router is None:
+                    self._router = make_router(
+                        self.config.router, self._weights, self._router_rng
+                    )
+                else:
+                    self._router.set_weights(self._weights)
             self.metrics.counters.adoptions += 1
+            self.metrics.shed.update(now, shed)
+            if shed > 0.0 and previous_shed == 0.0:
+                self.metrics.incidents.emit(
+                    IncidentRecord(
+                        time=now,
+                        kind="shed-start",
+                        severity="warning",
+                        detail=f"admission control engaged: shedding {shed:.4g} "
+                        f"of offered load",
+                        data={"fraction": shed, "reason": reason},
+                    )
+                )
+            elif shed == 0.0 and previous_shed > 0.0:
+                self.metrics.incidents.emit(
+                    IncidentRecord(
+                        time=now,
+                        kind="shed-stop",
+                        severity="info",
+                        detail="admission control disengaged: full load admitted",
+                        data={"reason": reason},
+                    )
+                )
         else:
             self.metrics.counters.hysteresis_skips += 1
-        if outcome.cache_hit:
+        if cache_hit:
             self.metrics.counters.cache_hits += 1
-        else:
+        elif solver_ran:
             self.metrics.counters.resolves += 1
-            self.metrics.resolve_latency.add(outcome.latency)
+            self.metrics.resolve_latency.add(latency)
         # Re-anchor drift detection at the rate we just planned for,
         # whether or not the split itself changed: the decision was
         # made, so small residual deviation is no longer "drift".
@@ -237,10 +360,12 @@ class LoadDistributionRuntime:
                 time=now,
                 reason=reason,
                 offered_rate=offered_rate,
-                solved_rate=outcome.solved_rate,
-                shed_fraction=outcome.plan.shed_fraction,
-                cache_hit=outcome.cache_hit,
+                solved_rate=solved_rate,
+                shed_fraction=shed,
+                cache_hit=cache_hit,
                 adopted=adopt,
+                source=source,
+                depth=depth,
             )
         )
 
@@ -328,6 +453,7 @@ def run_closed_loop(
     warmup: float = 0.0,
     seed: int | None = 0,
     failures: Sequence[tuple[float, int, str]] = (),
+    fault_plan=None,
     collect_tasks: bool = True,
 ) -> ClosedLoopResult:
     """Drive the online runtime with simulated traffic, closed loop.
@@ -347,11 +473,18 @@ def run_closed_loop(
     failures:
         Schedule of health events ``(time, server_index, kind)`` with
         ``kind`` in ``{"down", "up"}``.
+    fault_plan:
+        Optional :class:`~repro.faults.injectors.FaultPlan`: its solver
+        and estimator injectors are installed into the runtime and its
+        health-plane faults compiled into engine control events
+        (recorded in ``fault_plan.health_timeline``).
     collect_tasks:
         Retain completed tasks for phase-segmented convergence analysis
         (see :func:`repro.analysis.convergence.phase_reports`).
     """
-    runtime = LoadDistributionRuntime(group, trace.initial_rate, config)
+    runtime = LoadDistributionRuntime(
+        group, trace.initial_rate, config, fault_plan=fault_plan
+    )
     controls = []
     for t, index, kind in failures:
         if kind == "down":
@@ -360,6 +493,8 @@ def run_closed_loop(
             controls.append((t, _up_action(runtime, index)))
         else:
             raise ParameterError(f"failure kind must be 'down' or 'up', got {kind!r}")
+    if fault_plan is not None:
+        controls.extend(fault_plan.health_controls(runtime, horizon))
     sim_config = SimulationConfig(
         total_generic_rate=trace.initial_rate,
         fractions=tuple(runtime.current_weights),

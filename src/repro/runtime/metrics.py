@@ -16,7 +16,16 @@ import numpy as np
 from ..core.exceptions import ParameterError, SimulationError
 from ..sim.stats import RunningStats
 
-__all__ = ["RuntimeCounters", "LogHistogram", "RateGauges", "RuntimeMetrics"]
+__all__ = [
+    "RuntimeCounters",
+    "LogHistogram",
+    "RateGauges",
+    "IncidentRecord",
+    "IncidentLog",
+    "FallbackDepthCounters",
+    "ShedTracker",
+    "RuntimeMetrics",
+]
 
 
 @dataclass
@@ -45,6 +54,23 @@ class RuntimeCounters:
     failures: int = 0
     #: Server-up events observed.
     recoveries: int = 0
+    #: Solver invocations that raised (injected or organic faults).
+    resolve_failures: int = 0
+    #: Controller decisions answered by a fallback rung instead of the
+    #: primary backend.
+    fallback_resolves: int = 0
+    #: Circuit-breaker transitions closed -> open.
+    circuit_opens: int = 0
+    #: Circuit-breaker transitions back to closed (successful probe).
+    circuit_closes: int = 0
+    #: Decisions short-circuited to the pinned split while the breaker
+    #: was open (no solver attempt made).
+    circuit_rejections: int = 0
+    #: Decisions taken with every server down (shed-all mode).
+    cluster_down_events: int = 0
+    #: Invariant-watchdog violations detected (each one also produces
+    #: an incident record and a repaired, safe split).
+    watchdog_violations: int = 0
 
 
 class LogHistogram:
@@ -135,6 +161,168 @@ class RateGauges:
         return rates
 
 
+@dataclass(frozen=True)
+class IncidentRecord:
+    """One structured resilience incident, in simulated time.
+
+    The supervisor emits these whenever the control plane deviates from
+    the happy path: a solver fault, a fallback, a circuit transition, a
+    watchdog violation, a dark cluster, or a shed-mode transition.  The
+    schema is deliberately flat — ``(time, kind, severity, detail)``
+    plus a free-form ``data`` mapping — so chaos reports, CI artifacts,
+    and any future exporter serialize it without adapters.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the incident.
+    kind:
+        Machine-readable incident class, e.g. ``"solver-failure"``,
+        ``"fallback"``, ``"circuit-open"``, ``"circuit-close"``,
+        ``"cluster-down"``, ``"invariant-violation"``, ``"shed-start"``,
+        ``"shed-stop"``.
+    severity:
+        ``"info"``, ``"warning"``, or ``"critical"``.
+    detail:
+        Human-readable one-liner.
+    data:
+        Incident-specific structured payload (error strings, fallback
+        depth, staleness, offending invariant, ...).
+    """
+
+    time: float
+    kind: str
+    severity: str
+    detail: str
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serializable for CI artifacts)."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "severity": self.severity,
+            "detail": self.detail,
+            "data": dict(self.data),
+        }
+
+
+class IncidentLog:
+    """Bounded, ordered store of :class:`IncidentRecord` objects.
+
+    Keeps the most recent ``capacity`` records (chaos runs under a
+    hostile schedule can emit one incident per arrival; the log must
+    not grow with the horizon) while counting every record per kind so
+    totals survive eviction.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._records: list[IncidentRecord] = []
+        #: Total records ever emitted, per kind (not just retained).
+        self.counts: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> tuple[IncidentRecord, ...]:
+        """The retained records, oldest first."""
+        return tuple(self._records)
+
+    @property
+    def total(self) -> int:
+        """Total incidents ever emitted (including evicted ones)."""
+        return sum(self.counts.values())
+
+    def emit(self, record: IncidentRecord) -> IncidentRecord:
+        """Append a record, evicting the oldest beyond capacity."""
+        self._records.append(record)
+        if len(self._records) > self._capacity:
+            del self._records[0]
+        self.counts[record.kind] = self.counts.get(record.kind, 0) + 1
+        return record
+
+    def of_kind(self, kind: str) -> tuple[IncidentRecord, ...]:
+        """The retained records of one kind, oldest first."""
+        return tuple(r for r in self._records if r.kind == kind)
+
+
+class FallbackDepthCounters:
+    """How deep into the fallback chain each controller decision went.
+
+    Depth 0 is the primary backend; each further rung (alternate
+    backend, proportional heuristic, pinned split, shed-all) increments
+    its own depth bucket, keyed by the rung's source label.
+    """
+
+    def __init__(self) -> None:
+        #: Decisions per source label (e.g. ``"primary"``,
+        #: ``"fallback:bisection"``, ``"fallback:proportional"``,
+        #: ``"circuit-pinned"``, ``"cluster-down"``).
+        self.by_source: dict[str, int] = {}
+        #: Decisions per numeric chain depth.
+        self.by_depth: dict[int, int] = {}
+
+    def record(self, source: str, depth: int) -> None:
+        """Count one decision answered by ``source`` at ``depth``."""
+        self.by_source[source] = self.by_source.get(source, 0) + 1
+        self.by_depth[depth] = self.by_depth.get(depth, 0) + 1
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest rung any decision reached (0 when only primary)."""
+        return max(self.by_depth, default=0)
+
+    @property
+    def sources_used(self) -> frozenset[str]:
+        """All source labels that answered at least one decision."""
+        return frozenset(self.by_source)
+
+
+class ShedTracker:
+    """Gauge of the live shed fraction plus a shed-episode counter.
+
+    ``update`` is called at every adopted control decision with the new
+    shed fraction; a transition from zero to positive counts one *shed
+    event* (episode), so "how often did we degrade?" is answerable
+    separately from "how much did we drop?".
+    """
+
+    def __init__(self) -> None:
+        #: The live shed fraction (gauge).
+        self.current: float = 0.0
+        #: Episodes: transitions from not-shedding to shedding.
+        self.events: int = 0
+        #: Simulation time the current episode started (nan when not
+        #: shedding).
+        self.since: float = math.nan
+        #: Largest shed fraction ever adopted.
+        self.peak: float = 0.0
+
+    @property
+    def shedding(self) -> bool:
+        """Whether load is being shed right now."""
+        return self.current > 0.0
+
+    def update(self, now: float, fraction: float) -> None:
+        """Record the shed fraction adopted at ``now``."""
+        if fraction < 0.0 or fraction > 1.0 or not math.isfinite(fraction):
+            raise ParameterError(f"shed fraction must be in [0, 1], got {fraction!r}")
+        if fraction > 0.0 and self.current == 0.0:
+            self.events += 1
+            self.since = now
+        elif fraction == 0.0 and self.current > 0.0:
+            self.since = math.nan
+        self.current = fraction
+        self.peak = max(self.peak, fraction)
+
+
 @dataclass
 class RuntimeMetrics:
     """The full metric set of one :class:`~repro.runtime.loop.LoadDistributionRuntime`.
@@ -151,6 +339,16 @@ class RuntimeMetrics:
         Welford accumulator over observed generic response times.
     response_histogram:
         Log-binned histogram of the same observations (tail queries).
+    incidents:
+        Bounded log of structured resilience incidents.
+    fallback_depth:
+        Per-source / per-depth decision counters of the fallback chain.
+    shed:
+        Live shed-fraction gauge and shed-episode counter.
+    circuit_state:
+        The supervisor's circuit-breaker state gauge (``"closed"``,
+        ``"open"``, or ``"half-open"``); stays ``"closed"`` when no
+        supervisor is attached.
     """
 
     counters: RuntimeCounters
@@ -158,6 +356,10 @@ class RuntimeMetrics:
     resolve_latency: RunningStats = field(default_factory=RunningStats)
     response_time: RunningStats = field(default_factory=RunningStats)
     response_histogram: LogHistogram = field(default_factory=LogHistogram)
+    incidents: IncidentLog = field(default_factory=IncidentLog)
+    fallback_depth: FallbackDepthCounters = field(default_factory=FallbackDepthCounters)
+    shed: ShedTracker = field(default_factory=ShedTracker)
+    circuit_state: str = "closed"
 
     @classmethod
     def for_group_size(cls, n: int) -> "RuntimeMetrics":

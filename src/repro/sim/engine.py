@@ -211,17 +211,46 @@ class GroupSimulation:
         self._arrivals = arrivals
         self._arrival_listener = arrival_listener
         self._completion_listener = completion_listener
-        self._controls = tuple(controls)
-        for t, action in self._controls:
-            if not (math.isfinite(t) and t >= 0.0):
-                raise ParameterError(f"control time must be finite and >= 0, got {t!r}")
-            if not callable(action):
-                raise ParameterError(f"control action must be callable, got {action!r}")
+        self._controls: list = []
+        self._events: EventQueue | None = None
+        self._now = 0.0
+        for t, action in controls:
+            self.schedule_control(t, action)
         self._servers = [
             SimServer(i, srv.size, srv.speed, Discipline.coerce(config.discipline))
             for i, srv in enumerate(group.servers)
         ]
         self._task_counter = 0
+
+    # -- clock and control plane ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The current simulation clock (0 before the run starts)."""
+        return self._now
+
+    def schedule_control(self, time: float, action) -> None:
+        """Schedule a control action ``action(sim, now)`` at ``time``.
+
+        Works both before :meth:`run` (the action joins the initial
+        control list) and from *inside* a running simulation — e.g. a
+        control action or listener arming a follow-up event.  Times at
+        or past the horizon are accepted and silently never fire; times
+        in the past of a running clock are rejected.
+        """
+        if not (math.isfinite(time) and time >= 0.0):
+            raise ParameterError(f"control time must be finite and >= 0, got {time!r}")
+        if not callable(action):
+            raise ParameterError(f"control action must be callable, got {action!r}")
+        if self._events is None:
+            self._controls.append((time, action))
+            return
+        if time < self._now:
+            raise ParameterError(
+                f"control time {time!r} is in the past (now = {self._now!r})"
+            )
+        if time < self.config.horizon:
+            self._events.schedule(time, EventType.CONTROL, payload=action)
 
     # -- task creation ------------------------------------------------------------
 
@@ -245,6 +274,8 @@ class GroupSimulation:
         cfg = self.config
         n = self.group.n
         events = EventQueue()
+        self._events = events
+        self._now = 0.0
         measuring = cfg.warmup == 0.0
 
         # Statistics containers.
@@ -295,6 +326,7 @@ class GroupSimulation:
         while events:
             ev = events.pop()
             now = ev.time
+            self._now = now
 
             if ev.kind is EventType.END_OF_RUN:
                 break

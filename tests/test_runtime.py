@@ -15,18 +15,22 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.exceptions import ParameterError
+from repro.core.exceptions import ClusterDownError, ParameterError
 from repro.core.server import BladeServerGroup
 from repro.core.solvers import optimize_load_distribution
 from repro.runtime import (
     AliasTableRouter,
     DriftDetector,
     EwmaRateEstimator,
+    FallbackDepthCounters,
     HealthTracker,
+    IncidentLog,
+    IncidentRecord,
     LogHistogram,
     RateGauges,
     ResolveController,
     RuntimeMetrics,
+    ShedTracker,
     SlidingWindowRateEstimator,
     SmoothWeightedRoundRobinRouter,
     make_router,
@@ -272,8 +276,10 @@ class TestHealthTracker:
         health = HealthTracker(group)
         for i in range(group.n):
             health.mark_down(i)
-        with pytest.raises(ParameterError):
+        assert health.all_down
+        with pytest.raises(ClusterDownError) as excinfo:
             health.active_group()
+        assert excinfo.value.n_servers == group.n
 
     def test_index_out_of_range_raises(self, group):
         health = HealthTracker(group)
@@ -554,3 +560,174 @@ class TestEngineHooks:
             )
         with pytest.raises(ParameterError):
             GroupSimulation(group, self._config(group), controls=[(1.0, "nope")])
+
+
+class TestEstimatorTimeTolerance:
+    """Satellite: configurable backwards-timestamp jitter tolerance."""
+
+    @pytest.mark.parametrize(
+        "cls", [EwmaRateEstimator, SlidingWindowRateEstimator]
+    )
+    def test_strict_by_default(self, cls):
+        est = cls(10.0)
+        est.observe(5.0)
+        with pytest.raises(ParameterError):
+            est.observe(4.9999)
+
+    @pytest.mark.parametrize(
+        "cls", [EwmaRateEstimator, SlidingWindowRateEstimator]
+    )
+    def test_jitter_within_tolerance_is_clamped(self, cls):
+        est = cls(10.0, time_tolerance=1e-3)
+        est.observe(5.0)
+        est.observe(5.0 - 5e-4)  # clamped to 5.0, no raise
+        assert est.estimate(5.0) > 0.0
+
+    @pytest.mark.parametrize(
+        "cls", [EwmaRateEstimator, SlidingWindowRateEstimator]
+    )
+    def test_gross_violation_still_raises(self, cls):
+        est = cls(10.0, time_tolerance=1e-3)
+        est.observe(5.0)
+        with pytest.raises(ParameterError):
+            est.observe(4.0)
+
+    @pytest.mark.parametrize(
+        "cls", [EwmaRateEstimator, SlidingWindowRateEstimator]
+    )
+    def test_invalid_tolerance_rejected(self, cls):
+        with pytest.raises(ParameterError):
+            cls(10.0, time_tolerance=-1.0)
+        with pytest.raises(ParameterError):
+            cls(10.0, time_tolerance=math.inf)
+
+    def test_clamp_keeps_estimates_monotone_in_time(self):
+        est = EwmaRateEstimator(10.0, time_tolerance=1e-6)
+        for t in [1.0, 2.0, 3.0, 3.0 - 1e-7, 4.0]:
+            est.observe(t)
+        # The clamped stream stayed monotone; estimate() at a jittered
+        # query time also clamps instead of raising.
+        assert est.estimate(4.0 - 1e-7) > 0.0
+
+
+class TestIncidentLog:
+    def _record(self, kind="solver-failure", time=0.0):
+        return IncidentRecord(
+            time=time, kind=kind, severity="warning", detail="synthetic"
+        )
+
+    def test_emit_and_query(self):
+        log = IncidentLog()
+        log.emit(self._record("fallback", 1.0))
+        log.emit(self._record("fallback", 2.0))
+        log.emit(self._record("circuit-open", 3.0))
+        assert len(log) == 3
+        assert log.total == 3
+        assert log.counts == {"fallback": 2, "circuit-open": 1}
+        assert [r.time for r in log.of_kind("fallback")] == [1.0, 2.0]
+
+    def test_bounded_capacity_keeps_counts(self):
+        log = IncidentLog(capacity=3)
+        for t in range(10):
+            log.emit(self._record(time=float(t)))
+        assert len(log) == 3  # only the newest records retained
+        assert [r.time for r in log.records] == [7.0, 8.0, 9.0]
+        assert log.total == 10  # ...but totals survive eviction
+        assert log.counts["solver-failure"] == 10
+
+    def test_record_serializes(self):
+        rec = IncidentRecord(
+            time=1.5, kind="fallback", severity="warning",
+            detail="d", data={"depth": 2},
+        )
+        assert rec.to_dict() == {
+            "time": 1.5, "kind": "fallback", "severity": "warning",
+            "detail": "d", "data": {"depth": 2},
+        }
+
+
+class TestFallbackDepthCounters:
+    def test_records_by_source_and_depth(self):
+        c = FallbackDepthCounters()
+        c.record("primary", 0)
+        c.record("primary", 0)
+        c.record("fallback:bisection", 1)
+        c.record("fallback:proportional", 2)
+        assert c.by_source == {
+            "primary": 2, "fallback:bisection": 1, "fallback:proportional": 1,
+        }
+        assert c.by_depth == {0: 2, 1: 1, 2: 1}
+        assert c.max_depth == 2
+        assert c.sources_used == frozenset(
+            {"primary", "fallback:bisection", "fallback:proportional"}
+        )
+
+    def test_empty_counters(self):
+        c = FallbackDepthCounters()
+        assert c.max_depth == 0
+        assert c.sources_used == frozenset()
+
+
+class TestShedTracker:
+    def test_episode_counting(self):
+        t = ShedTracker()
+        t.update(1.0, 0.0)
+        assert t.events == 0 and not t.shedding
+        t.update(2.0, 0.3)   # episode 1 starts
+        t.update(3.0, 0.5)   # still the same episode
+        assert t.events == 1 and t.shedding and t.since == 2.0
+        t.update(4.0, 0.0)   # episode ends
+        assert t.events == 1 and not t.shedding and math.isnan(t.since)
+        t.update(5.0, 1.0)   # episode 2 (shed-all)
+        assert t.events == 2 and t.peak == 1.0
+
+    def test_invalid_fraction_rejected(self):
+        t = ShedTracker()
+        with pytest.raises(ParameterError):
+            t.update(0.0, -0.1)
+        with pytest.raises(ParameterError):
+            t.update(0.0, 1.5)
+
+
+class TestEngineClockAndScheduling:
+    def _config(self, group):
+        fractions = optimize_load_distribution(group, 3.0, "fcfs").fractions
+        return SimulationConfig(
+            total_generic_rate=3.0,
+            fractions=tuple(fractions),
+            horizon=600.0,
+            warmup=0.0,
+            seed=11,
+        )
+
+    def test_now_property_tracks_the_run(self, group):
+        sim = GroupSimulation(group, self._config(group))
+        assert sim.now == 0.0
+        seen = []
+        sim.schedule_control(100.0, lambda s, t: seen.append(s.now))
+        sim.run()
+        assert seen == [100.0]
+        assert sim.now > 0.0
+
+    def test_schedule_control_from_inside_a_run(self, group):
+        sim = GroupSimulation(group, self._config(group))
+        fired = []
+
+        def chain(s, t):
+            fired.append(t)
+            if len(fired) < 3:
+                s.schedule_control(t + 50.0, chain)
+
+        sim.schedule_control(100.0, chain)
+        sim.run()
+        assert fired == [100.0, 150.0, 200.0]
+
+    def test_past_control_time_rejected_mid_run(self, group):
+        sim = GroupSimulation(group, self._config(group))
+
+        def bad(s, t):
+            s.schedule_control(t - 10.0, lambda *_: None)
+
+        sim.schedule_control(100.0, bad)
+        with pytest.raises(ParameterError):
+            sim.run()

@@ -9,24 +9,44 @@ A production-quality reproduction of:
 
 Quickstart
 ----------
->>> from repro import BladeServerGroup, optimize_load_distribution
->>> group = BladeServerGroup.with_special_fraction(
+>>> import repro
+>>> group = repro.BladeServerGroup.with_special_fraction(
 ...     sizes=[2, 4, 6, 8, 10, 12, 14],
 ...     speeds=[1.6, 1.5, 1.4, 1.3, 1.2, 1.1, 1.0],
 ...     fraction=0.3,
 ... )
->>> result = optimize_load_distribution(group, total_rate=23.52)
+>>> result = repro.solve(group, 23.52, discipline="fcfs")
 >>> round(result.mean_response_time, 7)
 0.8964703
+
+:func:`solve` is the single public entry point for the paper's
+optimization; pick the backend with ``method=`` (``"auto"``,
+``"paper"``, ``"vectorized"``, ...) and the queueing discipline with
+``discipline=`` (``"fcfs"`` or ``"priority"``).  To watch what a solve
+— or the whole online runtime — is doing, switch on observability:
+
+>>> from repro import ObsConfig, configure
+>>> obs = configure(ObsConfig(enabled=True))           # doctest: +SKIP
+>>> repro.solve(group, 23.52)                          # doctest: +SKIP
+>>> obs.tracer.records                                 # doctest: +SKIP
 
 Subpackages
 -----------
 ``repro.core``
     Queueing math (M/M/m, Erlang), response-time models for the two
     disciplines, and the load-distribution optimizers.
+``repro.obs``
+    Structured observability: metrics registry, span tracing,
+    profiling hooks (off by default, zero-dependency).
 ``repro.sim``
     Discrete-event simulator of a blade-server group, used to validate
     the analytical model.
+``repro.runtime``
+    Online control plane: drift-aware re-solves, routing, closed-loop
+    validation (:func:`run_closed_loop`).
+``repro.faults``
+    Fault injection (:class:`FaultSpec`, :class:`FaultSchedule`) and
+    the supervised resilience layer.
 ``repro.dispatch``
     Load-distribution policies: the optimal split plus baselines.
 ``repro.workloads``
@@ -38,6 +58,7 @@ Subpackages
     One registered experiment per paper table/figure, with a CLI.
 """
 
+from .api import SolveResult, as_group, solve, solve_sweep
 from .core import (
     BladeServer,
     BladeServerGroup,
@@ -53,22 +74,50 @@ from .core import (
     available_methods,
     optimize_load_distribution,
 )
+from .core.solvers import register_method, registered_methods
+from .faults.schedule import FaultSchedule, FaultSpec, random_fault_schedule
+from .obs import ObsConfig, configure, get_obs, reset_obs
+from .runtime.loop import ClosedLoopResult, RuntimeConfig, run_closed_loop
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # The facade.
+    "solve",
+    "solve_sweep",
+    "SolveResult",
+    "as_group",
+    # Model inputs / results.
     "BladeServer",
     "BladeServerGroup",
-    "ConvergenceError",
     "Discipline",
-    "InfeasibleError",
     "LoadDistributionResult",
     "MMmQueue",
-    "ParameterError",
-    "ReproError",
-    "SaturationError",
-    "SimulationError",
+    # Solver method registry.
     "available_methods",
+    "register_method",
+    "registered_methods",
+    # Online runtime.
+    "run_closed_loop",
+    "RuntimeConfig",
+    "ClosedLoopResult",
+    # Fault injection.
+    "FaultSpec",
+    "FaultSchedule",
+    "random_fault_schedule",
+    # Observability.
+    "ObsConfig",
+    "configure",
+    "get_obs",
+    "reset_obs",
+    # Exceptions.
+    "ReproError",
+    "ParameterError",
+    "InfeasibleError",
+    "SaturationError",
+    "ConvergenceError",
+    "SimulationError",
+    # Deprecated (kept working; prefer `solve`).
     "optimize_load_distribution",
     "__version__",
 ]

@@ -22,7 +22,8 @@ import numpy as np
 from ..core.exceptions import ParameterError
 from ..core.response import Discipline
 from ..core.server import BladeServerGroup
-from ..workloads.sweeps import shared_sweep, solve_sweep
+from ..api import solve_sweep
+from ..workloads.sweeps import shared_sweep
 
 __all__ = ["FigureSeries", "build_figure"]
 
@@ -131,7 +132,7 @@ def build_figure(
     warm_start:
         Reuse each point's converged multiplier to bracket the next one
         (bisection-family backends only; see
-        :func:`~repro.workloads.sweeps.solve_sweep`).
+        :func:`repro.api.solve_sweep`).
     """
     if len(groups) != len(labels):
         raise ParameterError(
@@ -147,7 +148,7 @@ def build_figure(
     values = np.empty((len(groups), len(rates)))
     for i, group in enumerate(groups):
         results = solve_sweep(
-            group, rates, disc, method=method, warm_start=warm_start
+            group, rates, discipline=disc, method=method, warm_start=warm_start
         )
         values[i] = [r.mean_response_time for r in results]
     return FigureSeries(

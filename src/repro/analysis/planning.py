@@ -27,7 +27,7 @@ import numpy as np
 from ..core.exceptions import ParameterError
 from ..core.response import Discipline
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution
+from ..core.solvers import dispatch
 
 __all__ = [
     "BladeAdditionOption",
@@ -100,11 +100,11 @@ def evaluate_blade_additions(
         One option per server, ordered by decreasing gain.
     """
     disc = Discipline.coerce(discipline)
-    base = optimize_load_distribution(group, total_rate, disc, method)
+    base = dispatch(group, total_rate, disc, method)
     options = []
     for j in range(group.n):
         upgraded = _upgraded_group(group, j, preload_follows)
-        res = optimize_load_distribution(upgraded, total_rate, disc, method)
+        res = dispatch(upgraded, total_rate, disc, method)
         options.append(
             BladeAdditionOption(
                 server_index=j,

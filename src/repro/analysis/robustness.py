@@ -31,7 +31,7 @@ import numpy as np
 from ..core.exceptions import ParameterError
 from ..core.response import Discipline
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution
+from ..core.solvers import dispatch
 from ..sim.engine import simulate_group
 from ..sim.requirements import RequirementDistribution
 
@@ -87,7 +87,7 @@ def preload_misestimation(
         raise ParameterError(
             f"true_special_rates shape {true_rates.shape} != ({group_assumed.n},)"
         )
-    stale = optimize_load_distribution(
+    stale = dispatch(
         group_assumed, total_rate, discipline, method
     )
     true_group = BladeServerGroup.from_arrays(
@@ -96,7 +96,7 @@ def preload_misestimation(
         true_rates,
         rbar=group_assumed.rbar,
     )
-    oracle = optimize_load_distribution(
+    oracle = dispatch(
         true_group, total_rate, discipline, method
     )
     utils = true_group.utilizations(stale.generic_rates)
@@ -147,7 +147,7 @@ def service_law_mismatch(
     hyperexponential mixes (SCV > 1) exceed it — increasingly so at
     high utilization.
     """
-    res = optimize_load_distribution(group, total_rate, discipline, method)
+    res = dispatch(group, total_rate, discipline, method)
     sim = simulate_group(
         group,
         total_rate,

@@ -36,7 +36,7 @@ from ..core.response import (
     generic_response_time,
 )
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution
+from ..core.solvers import dispatch
 
 __all__ = ["SensitivityReport", "optimal_value_sensitivities"]
 
@@ -116,7 +116,7 @@ def optimal_value_sensitivities(
         On invalid inputs (via the solver).
     """
     disc = Discipline.coerce(discipline)
-    res = optimize_load_distribution(group, total_rate, disc, method)
+    res = dispatch(group, total_rate, disc, method)
     rates = res.generic_rates
     weights = res.fractions
     sizes = group.sizes

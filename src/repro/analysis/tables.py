@@ -18,7 +18,7 @@ import numpy as np
 from ..core.response import Discipline
 from ..core.result import LoadDistributionResult
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution
+from ..core.solvers import dispatch
 from ..workloads.paper import EXAMPLE_TOTAL_RATE
 from ..workloads.groups import example_group
 
@@ -55,7 +55,7 @@ def reproduce_table(
     disc = Discipline.coerce(discipline)
     if group is None:
         group = example_group()
-    result = optimize_load_distribution(group, total_rate, disc, method)
+    result = dispatch(group, total_rate, disc, method)
     return PaperTable(
         table_id="table1" if disc is Discipline.FCFS else "table2",
         discipline=disc,

@@ -24,7 +24,7 @@ import numpy as np
 from ..core.response import Discipline
 from ..core.result import LoadDistributionResult
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution
+from ..core.solvers import dispatch
 from ..sim.runner import ReplicatedResult, run_replications
 
 __all__ = ["ValidationReport", "validate_model"]
@@ -84,7 +84,7 @@ def validate_model(
     docstring for the semantics of ``guard_band``.
     """
     disc = Discipline.coerce(discipline)
-    analytic = optimize_load_distribution(group, total_rate, disc, method)
+    analytic = dispatch(group, total_rate, disc, method)
     simulated = run_replications(
         group,
         total_rate,

@@ -41,7 +41,7 @@ from .exceptions import ParameterError
 from .response import Discipline
 from .result import LoadDistributionResult
 from .server import BladeServerGroup
-from .solvers import optimize_load_distribution
+from .solvers import dispatch
 
 __all__ = [
     "RevenueModel",
@@ -136,7 +136,7 @@ def profit_rate(
         raise ParameterError(f"admitted_rate must be >= 0, got {admitted_rate}")
     if admitted_rate == 0.0:
         return -cost_per_time
-    res = optimize_load_distribution(group, admitted_rate, discipline, method)
+    res = dispatch(group, admitted_rate, discipline, method)
     return (
         admitted_rate * revenue.per_task(res.mean_response_time)
         - cost_per_time
@@ -200,7 +200,7 @@ def optimize_admission(
             distribution=None,
             load_fraction=0.0,
         )
-    dist = optimize_load_distribution(group, lam_star, disc, method)
+    dist = dispatch(group, lam_star, disc, method)
     return AdmissionResult(
         admitted_rate=lam_star,
         profit=profit_star,

@@ -1,8 +1,21 @@
-"""High-level solver façade: ``optimize_load_distribution``.
+"""Solver method registry and the internal dispatch path.
 
-The rest of the library (experiments, benchmarks, examples, the
-simulation dispatcher) talks to this one entry point and selects a
-backend by name:
+The public way to run the optimizer is :func:`repro.solve` (see
+:mod:`repro.api`); this module owns the machinery underneath it:
+
+* :class:`SolverMethod` / :func:`register_method` — the backend
+  registry.  Each entry binds a name to a solver callable plus its
+  capabilities (currently: whether it accepts ``phi_hint`` warm
+  starts).  Out-of-tree backends register themselves here and become
+  addressable through ``repro.solve(..., method="name")``.
+* :func:`resolve_method` — ``"auto"`` resolution and name validation.
+* :func:`dispatch` — the non-deprecated internal entry point every
+  in-tree caller (facade, controller, sweeps, analysis) routes
+  through.  It is also the observability choke point: one ``solve``
+  span and the ``repro_solve_*`` metrics per invocation, regardless of
+  which entry point the caller came in by.
+
+Registered backends:
 
 =================  ==========================================================
 method             backend
@@ -16,12 +29,20 @@ method             backend
 ``"auto"``         ``closed-form`` when all sizes are 1, ``vectorized`` for
                    large groups (n >= 64), else ``kkt``
 =================  ==========================================================
+
+:func:`optimize_load_distribution` — the historical entry point — still
+works with its original signature but emits a :class:`DeprecationWarning`
+pointing at :func:`repro.solve`.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
+from dataclasses import dataclass
 from typing import Callable
 
+from ..obs import get_obs
 from .bisection import calculate_t_prime
 from .closed_form import solve_closed_form
 from .exceptions import ParameterError
@@ -30,19 +51,93 @@ from .nlp import solve_nlp
 from .response import Discipline
 from .result import LoadDistributionResult
 from .server import BladeServerGroup
-from .vectorized import solve_vectorized
+from .vectorized import _solve_vectorized
 
-__all__ = ["optimize_load_distribution", "available_methods", "resolve_method"]
+__all__ = [
+    "SolverMethod",
+    "register_method",
+    "registered_methods",
+    "available_methods",
+    "warm_startable_methods",
+    "resolve_method",
+    "dispatch",
+    "optimize_load_distribution",
+]
 
 _Solver = Callable[..., LoadDistributionResult]
 
-_METHODS: dict[str, _Solver] = {
-    "bisection": calculate_t_prime,
-    "kkt": solve_kkt,
-    "slsqp": solve_nlp,
-    "closed-form": solve_closed_form,
-    "vectorized": solve_vectorized,
-}
+
+@dataclass(frozen=True)
+class SolverMethod:
+    """One registered solver backend.
+
+    Attributes
+    ----------
+    name:
+        The name accepted by ``repro.solve(..., method=name)``.
+    fn:
+        The solver callable, with the signature
+        ``fn(group, total_rate, discipline, **kwargs)``.
+    warm_startable:
+        Whether ``fn`` accepts a ``phi_hint`` keyword (multiplier warm
+        starts along sweeps and controller trajectories).
+    """
+
+    name: str
+    fn: _Solver
+    warm_startable: bool = False
+
+
+_REGISTRY: dict[str, SolverMethod] = {}
+
+
+def register_method(
+    name: str,
+    fn: _Solver,
+    *,
+    warm_startable: bool = False,
+    replace: bool = False,
+) -> SolverMethod:
+    """Register (or, with ``replace``, override) a solver backend.
+
+    ``name`` becomes addressable via ``repro.solve(..., method=name)``
+    and every shim that funnels into :func:`dispatch`.  ``"auto"`` is
+    reserved for the resolution rule.
+    """
+    key = name.lower()
+    if key == "auto":
+        raise ParameterError('"auto" is reserved for the resolution rule')
+    if key in _REGISTRY and not replace:
+        raise ParameterError(
+            f"method {name!r} is already registered; pass replace=True to override"
+        )
+    if not callable(fn):
+        raise ParameterError(f"solver backend must be callable, got {fn!r}")
+    method = SolverMethod(name=key, fn=fn, warm_startable=warm_startable)
+    _REGISTRY[key] = method
+    return method
+
+
+def registered_methods() -> dict[str, SolverMethod]:
+    """Snapshot of the registry (name to :class:`SolverMethod`)."""
+    return dict(_REGISTRY)
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names accepted by ``repro.solve(..., method=...)``."""
+    return tuple(_REGISTRY) + ("auto",)
+
+
+def warm_startable_methods() -> frozenset[str]:
+    """Backend names whose solver accepts a ``phi_hint`` warm start."""
+    return frozenset(m.name for m in _REGISTRY.values() if m.warm_startable)
+
+
+register_method("bisection", calculate_t_prime, warm_startable=True)
+register_method("kkt", solve_kkt)
+register_method("slsqp", solve_nlp)
+register_method("closed-form", solve_closed_form)
+register_method("vectorized", _solve_vectorized, warm_startable=True)
 
 #: Group size at which ``"auto"`` switches from the scalar KKT solver to
 #: the batched vectorized backend (crossover measured in
@@ -50,17 +145,13 @@ _METHODS: dict[str, _Solver] = {
 AUTO_VECTORIZED_THRESHOLD = 64
 
 
-def available_methods() -> tuple[str, ...]:
-    """Names accepted by ``optimize_load_distribution(..., method=...)``."""
-    return tuple(_METHODS) + ("auto",)
-
-
 def resolve_method(group: BladeServerGroup, method: str = "auto") -> str:
     """Concrete backend name for ``method`` on ``group``.
 
     Resolves ``"auto"`` (closed form for all-``m_i = 1`` groups, the
     vectorized backend from :data:`AUTO_VECTORIZED_THRESHOLD` servers
-    up, KKT otherwise) and validates explicit names.
+    up, KKT otherwise) and validates explicit names against the
+    registry.
     """
     name = method.lower()
     if name == "auto":
@@ -69,11 +160,64 @@ def resolve_method(group: BladeServerGroup, method: str = "auto") -> str:
         if len(group.servers) >= AUTO_VECTORIZED_THRESHOLD:
             return "vectorized"
         return "kkt"
-    if name not in _METHODS:
+    if name not in _REGISTRY:
         raise ParameterError(
             f"unknown method {method!r}; available: {available_methods()}"
         )
     return name
+
+
+def dispatch(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    method: str = "auto",
+    **solver_kwargs,
+) -> LoadDistributionResult:
+    """Resolve ``method`` and run the backend (internal entry point).
+
+    This is the single funnel every solve in the library passes
+    through; when observability is enabled it wraps the backend call in
+    a ``solve`` span and records
+
+    * ``repro_solves_total{method}`` — invocations per backend,
+    * ``repro_solve_seconds`` — wall-clock latency histogram,
+    * ``repro_solve_iterations`` — outer-loop iteration histogram.
+
+    External callers should use :func:`repro.solve`, which adds input
+    coercion and returns the richer
+    :class:`~repro.api.SolveResult`.
+    """
+    backend = _REGISTRY[resolve_method(group, method)]
+    o = get_obs()
+    if not o.enabled:
+        return backend.fn(group, total_rate, discipline, **solver_kwargs)
+    with o.tracer.span(
+        "solve",
+        n=group.n,
+        method=backend.name,
+        lam=float(total_rate),
+        discipline=str(getattr(discipline, "value", discipline)),
+    ) as span:
+        start = time.perf_counter()
+        result = backend.fn(group, total_rate, discipline, **solver_kwargs)
+        elapsed = time.perf_counter() - start
+        span.note(iterations=result.iterations, t_prime=result.mean_response_time)
+    reg = o.registry
+    reg.counter(
+        "repro_solves_total", "Solver invocations per backend", labels=("method",)
+    ).labels(method=backend.name).inc()
+    reg.histogram(
+        "repro_solve_seconds", "Wall-clock seconds per solve", lo=1e-6, hi=1e3
+    ).observe(elapsed)
+    reg.histogram(
+        "repro_solve_iterations",
+        "Outer-loop iterations per solve",
+        lo=1.0,
+        hi=65536.0,
+        buckets=16,
+    ).observe(max(result.iterations, 1))
+    return result
 
 
 def optimize_load_distribution(
@@ -84,6 +228,12 @@ def optimize_load_distribution(
     **solver_kwargs,
 ) -> LoadDistributionResult:
     """Minimize the mean generic-task response time over a server group.
+
+    .. deprecated:: 1.1
+        This is the historical entry point, kept signature-compatible;
+        new code should call :func:`repro.solve`, which returns the
+        same numbers (bit-identical rates) as a
+        :class:`~repro.api.SolveResult`.
 
     Parameters
     ----------
@@ -97,18 +247,9 @@ def optimize_load_distribution(
         ``"fcfs"`` (special tasks without priority, paper Section 3) or
         ``"priority"`` (Section 4).
     method:
-        Solver backend; see module docstring.  ``"auto"`` picks the
-        closed form when it applies, the batched vectorized backend for
-        groups of ``AUTO_VECTORIZED_THRESHOLD`` or more servers, and the
-        Brent/KKT solver otherwise.
+        Solver backend; see module docstring.
     **solver_kwargs:
         Passed through to the backend (e.g. ``tol`` for bisection).
-
-    Returns
-    -------
-    LoadDistributionResult
-        Optimal per-server rates, minimized ``T'``, the multiplier
-        ``phi``, and per-server diagnostics.
 
     Raises
     ------
@@ -117,5 +258,10 @@ def optimize_load_distribution(
     ParameterError
         On an unknown method name or invalid inputs.
     """
-    solver = _METHODS[resolve_method(group, method)]
-    return solver(group, total_rate, discipline, **solver_kwargs)
+    warnings.warn(
+        "optimize_load_distribution() is deprecated; use repro.solve(servers, "
+        "lam, discipline=..., method=...) — same numbers, richer result",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return dispatch(group, total_rate, discipline, method, **solver_kwargs)

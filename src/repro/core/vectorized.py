@@ -39,11 +39,13 @@ instances by the test suite.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Sequence
 
 import numpy as np
 from scipy.special import gammaln
 
+from ..obs import get_obs
 from .bisection import (
     DEFAULT_SEED,
     DEFAULT_TOL,
@@ -325,9 +327,11 @@ def find_lambda_batched(
     # bracketing can never reach near-saturation totals.
     g_ub = marginal_cost_vec(ms, xbars, specials, ub, total_rate, disc)
     lb = np.where(active & (g_ub < phi), ub, lb)
+    sweeps = 0
     for _ in range(MAX_ITER):
         if float((ub - lb).max()) <= tol:
             break
+        sweeps += 1
         mid = 0.5 * (lb + ub)
         g = marginal_cost_vec(ms, xbars, specials, mid, total_rate, disc)
         go_up = active & (g < phi)
@@ -335,10 +339,19 @@ def find_lambda_batched(
         ub = np.where(active & ~go_up, mid, ub)
     else:  # pragma: no cover - defensive
         raise ConvergenceError("find_lambda_batched failed to converge")
+    o = get_obs()
+    if o.enabled:
+        o.registry.histogram(
+            "repro_inner_sweeps",
+            "Batched bisection sweeps per inner solve (all servers at once)",
+            lo=1.0,
+            hi=1024.0,
+            buckets=10,
+        ).observe(max(sweeps, 1))
     return np.where(active, 0.5 * (lb + ub), 0.0)
 
 
-def solve_vectorized(
+def _solve_vectorized(
     group: BladeServerGroup,
     total_rate: float,
     discipline: Discipline | str = Discipline.FCFS,
@@ -351,14 +364,15 @@ def solve_vectorized(
     :func:`~repro.core.bisection.calculate_t_prime` (same algorithm,
     same tolerances, same results to well below 1e-9 per server) whose
     inner step is :func:`find_lambda_batched`; registered as
-    ``method="vectorized"`` in the solver facade.
+    ``method="vectorized"`` in the solver registry — reach it through
+    ``repro.solve(..., method="vectorized")``.
 
     Parameters
     ----------
     phi_hint:
         Optional warm start for the multiplier bracket, typically the
         converged ``phi`` of a neighbouring sweep point (see
-        :func:`repro.workloads.sweeps.solve_sweep`).
+        :func:`repro.api.solve_sweep`).
     """
     disc = Discipline.coerce(discipline)
     group.check_feasible(total_rate)
@@ -392,6 +406,7 @@ def solve_vectorized(
     def sum_at(phi: float) -> float:
         return float(rates_for(phi).sum())
 
+    o = get_obs()
     lb, ub, iterations = _bracket_phi(sum_at, total_rate, phi_hint)
     r_lo = seen.get(lb, np.zeros(ms.shape[0]))
     r_hi = seen.get(ub)
@@ -403,7 +418,15 @@ def solve_vectorized(
             break
         iterations += 1
         middle = 0.5 * (lb + ub)
-        r_mid = rates_for(middle, lo=r_lo, hi=r_hi)
+        if o.enabled:
+            with o.tracer.span(
+                "solve.outer", iter=iterations, phi_lo=lb, phi_hi=ub
+            ) as sp:
+                before = evals
+                r_mid = rates_for(middle, lo=r_lo, hi=r_hi)
+                sp.note(inner_calls=evals - before, sum_rates=float(r_mid.sum()))
+        else:
+            r_mid = rates_for(middle, lo=r_lo, hi=r_hi)
         if float(r_mid.sum()) < total_rate:
             lb, r_lo = middle, r_mid
         else:
@@ -428,4 +451,29 @@ def solve_vectorized(
         iterations=iterations,
         converged=True,
         metadata={"inner_solver_calls": evals},
+    )
+
+
+def solve_vectorized(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    tol: float = DEFAULT_TOL,
+    phi_hint: float | None = None,
+) -> LoadDistributionResult:
+    """Optimal load distribution via the batched nested bisection.
+
+    .. deprecated:: 1.1
+        Call :func:`repro.solve` with ``method="vectorized"`` instead;
+        it returns the same numbers through the shared dispatch path
+        (and its solve therefore shows up in traces and metrics).
+    """
+    warnings.warn(
+        'solve_vectorized() is deprecated; use repro.solve(servers, lam, '
+        'method="vectorized")',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_vectorized(
+        group, total_rate, discipline, tol=tol, phi_hint=phi_hint
     )

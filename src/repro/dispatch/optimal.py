@@ -7,7 +7,7 @@ import numpy as np
 from ..core.response import Discipline
 from ..core.result import LoadDistributionResult
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution
+from ..core.solvers import dispatch
 from .base import LoadDistributionPolicy
 
 __all__ = ["OptimalPolicy"]
@@ -35,7 +35,7 @@ class OptimalPolicy(LoadDistributionPolicy):
         total_rate: float,
         discipline: Discipline | str = Discipline.FCFS,
     ) -> np.ndarray:
-        return optimize_load_distribution(
+        return dispatch(
             group, total_rate, discipline, self.method
         ).generic_rates
 
@@ -47,6 +47,6 @@ class OptimalPolicy(LoadDistributionPolicy):
     ) -> LoadDistributionResult:
         # Bypass the generic wrapper to preserve the solver's phi,
         # iteration count, and method name in the result.
-        return optimize_load_distribution(
+        return dispatch(
             group, total_rate, discipline, self.method
         )

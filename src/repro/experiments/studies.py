@@ -30,7 +30,7 @@ from ..analysis.robustness import (
 from ..analysis.sensitivity import SensitivityReport, optimal_value_sensitivities
 from ..analysis.validation import ValidationReport, validate_model
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution
+from ..core.solvers import dispatch
 from ..workloads import example_group
 from ..workloads.paper import EXAMPLE_TOTAL_RATE
 
@@ -100,7 +100,7 @@ def run_solver_agreement() -> SolverAgreementStudy:
     rows = []
     for disc in ("fcfs", "priority"):
         for method in ("bisection", "kkt", "slsqp"):
-            res = optimize_load_distribution(
+            res = dispatch(
                 group, EXAMPLE_TOTAL_RATE, disc, method
             )
             rows.append((disc, method, res.mean_response_time))

@@ -31,7 +31,8 @@ import numpy as np
 
 from ..core.exceptions import ParameterError
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution
+from ..core.solvers import dispatch
+from ..obs import get_obs
 from ..runtime.loop import RuntimeConfig, run_closed_loop
 from ..workloads.traces import RateTrace
 from .injectors import FaultPlan
@@ -275,7 +276,7 @@ def run_chaos(
     """
     if config is None:
         config = RuntimeConfig(router="alias")
-    analytic = optimize_load_distribution(
+    analytic = dispatch(
         group, rate, config.discipline
     ).mean_response_time
     records: list[ChaosRunRecord] = []
@@ -351,9 +352,12 @@ def run_chaos(
 def dump_chaos_artifacts(report: ChaosSuiteReport, directory: str) -> list[str]:
     """Write the suite report and per-seed incident logs as JSON files.
 
-    The CI chaos job uploads this directory as a build artifact when
-    the suite fails, so the full incident trail ships with the red
-    build.  Returns the written paths.
+    The CI chaos job uploads this directory as a build artifact, so
+    the full incident trail ships with the build.  When the process's
+    observability context is enabled, the span trace (``trace.jsonl``,
+    one JSON record per completed span) and a metrics snapshot
+    (``metrics.json``) land beside the incident logs.  Returns the
+    written paths.
     """
     os.makedirs(directory, exist_ok=True)
     paths = []
@@ -371,4 +375,13 @@ def dump_chaos_artifacts(report: ChaosSuiteReport, directory: str) -> list[str]:
                 sort_keys=True,
             )
         paths.append(path)
+    o = get_obs()
+    if o.enabled:
+        trace_path = os.path.join(directory, "trace.jsonl")
+        o.tracer.export_jsonl(trace_path)
+        paths.append(trace_path)
+        metrics_path = os.path.join(directory, "metrics.json")
+        with open(metrics_path, "w", encoding="utf-8") as fh:
+            json.dump(o.registry.to_dict(), fh, indent=2, sort_keys=True)
+        paths.append(metrics_path)
     return paths

@@ -45,9 +45,11 @@ import numpy as np
 from ..core.exceptions import ClusterDownError, ParameterError
 from ..core.result import LoadDistributionResult
 from ..core.server import BladeServerGroup
+from ..obs import ConfigBase, get_obs
 from ..runtime.controller import ResolveController, ResolveOutcome
 from ..runtime.health import HealthTracker
 from ..runtime.metrics import IncidentRecord, RuntimeMetrics
+
 
 __all__ = [
     "SupervisorConfig",
@@ -57,9 +59,23 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class SupervisorConfig:
+def _breaker_transition(to: str) -> None:
+    """Record a circuit-breaker state change when observability is on."""
+    o = get_obs()
+    if o.enabled:
+        o.registry.counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions",
+            labels=("to",),
+        ).labels(to=to).inc()
+
+
+@dataclass(frozen=True, kw_only=True)
+class SupervisorConfig(ConfigBase):
     """Tuning knobs of the resilience supervisor.
+
+    Keyword-only and frozen; round-trips through ``to_dict()`` /
+    ``from_dict()`` like every config in the library.
 
     Attributes
     ----------
@@ -348,6 +364,7 @@ class ResilienceSupervisor:
         self._open_until = now + self.config.breaker_cooldown
         self.metrics.counters.circuit_opens += 1
         self.metrics.circuit_state = "open"
+        _breaker_transition("open")
         self._incident(
             now,
             "circuit-open",
@@ -364,12 +381,44 @@ class ResilienceSupervisor:
         self._consecutive_primary_failures = 0
         self.metrics.counters.circuit_closes += 1
         self.metrics.circuit_state = "closed"
+        _breaker_transition("closed")
         self._incident(now, "circuit-close", "info", "half-open probe succeeded")
 
     # -- the decision ------------------------------------------------------------------
 
     def resolve(self, now: float, offered_rate: float) -> SupervisedOutcome:
-        """One supervised controller decision.  Never raises."""
+        """One supervised controller decision.  Never raises.
+
+        When observability is enabled the decision is wrapped in a
+        ``fallback`` span (attrs: source, depth, swallowed fault count)
+        and lands in ``repro_supervised_total{source}`` and the
+        ``repro_fallback_depth`` histogram; breaker state changes count
+        into ``repro_breaker_transitions_total{to}``.
+        """
+        o = get_obs()
+        if not o.enabled:
+            return self._decide(now, offered_rate)
+        with o.tracer.span("fallback", t=now, rate=float(offered_rate)) as sp:
+            outcome = self._decide(now, offered_rate)
+            sp.note(
+                source=outcome.source,
+                depth=outcome.depth,
+                swallowed=len(outcome.failures),
+            )
+        reg = o.registry
+        reg.counter(
+            "repro_supervised_total",
+            "Supervised decisions by provenance",
+            labels=("source",),
+        ).labels(source=outcome.source).inc()
+        reg.histogram(
+            "repro_fallback_depth",
+            "Fallback-chain rung that answered each decision (0 = primary)",
+            edges=tuple(float(i) for i in range(9)),
+        ).observe(float(outcome.depth))
+        return outcome
+
+    def _decide(self, now: float, offered_rate: float) -> SupervisedOutcome:
         if self.health.all_down:
             outcome = self._shed_all(now, offered_rate)
             self._last_good = None  # any pin predates the dark cluster
@@ -382,6 +431,7 @@ class ResilienceSupervisor:
             # Cooldown elapsed: one half-open probe of the primary.
             probing = True
             self.metrics.circuit_state = "half-open"
+            _breaker_transition("half-open")
 
         failures: list[str] = []
         outcome = self._attempt_chain(now, offered_rate, failures, probing)

@@ -1,0 +1,148 @@
+"""Uniform config machinery: frozen keyword-only dataclasses + dict I/O.
+
+Every tunable surface of the runtime — :class:`ObsConfig` here,
+:class:`~repro.runtime.loop.RuntimeConfig` and
+:class:`~repro.faults.supervisor.SupervisorConfig` elsewhere — follows
+one convention:
+
+* ``@dataclass(frozen=True, kw_only=True)`` — configs are immutable
+  values constructed by field name only, so adding a knob can never
+  silently shift a positional argument;
+* :class:`ConfigBase` mixin — a lossless ``to_dict()``/``from_dict()``
+  round trip (enums to their values, tuples to lists, nested configs
+  to nested dicts) so configs serialize to JSON/YAML experiment files
+  and rebuild bit-identically.
+
+``from_dict`` rejects unknown keys loudly: a typo in an experiment file
+must fail at load time, not silently run defaults.
+"""
+
+from __future__ import annotations
+
+import enum
+import types
+import typing
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Mapping, Union
+
+from .registry import ObsError
+
+__all__ = ["ConfigBase", "ObsConfig"]
+
+#: ``typing.get_origin`` results that mean "this hint is a union".
+_UNION_ORIGINS = (Union, types.UnionType)
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert a config field value to plain JSON-able data."""
+    if isinstance(value, ConfigBase):
+        return value.to_dict()
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (tuple, list)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+class ConfigBase:
+    """Mixin giving frozen dataclass configs a dict round trip."""
+
+    def to_dict(self) -> dict:
+        """Plain-dict form: enums become values, tuples become lists,
+        nested configs become nested dicts."""
+        if not is_dataclass(self):  # pragma: no cover - misuse guard
+            raise ObsError(f"{type(self).__name__} is not a dataclass")
+        return {f.name: _plain(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConfigBase":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise; nested config dicts are recursed into via
+        the field's declared type; list values land on tuple-typed
+        fields as tuples.  The round trip
+        ``cls.from_dict(cfg.to_dict()) == cfg`` holds for every config
+        in the library.
+        """
+        if not isinstance(data, Mapping):
+            raise ObsError(
+                f"{cls.__name__}.from_dict needs a mapping, got {type(data).__name__}"
+            )
+        hints = typing.get_type_hints(cls)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ObsError(
+                f"unknown {cls.__name__} keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        kwargs = {}
+        for name, value in data.items():
+            hint = hints.get(name)
+            origin = typing.get_origin(hint)
+            # Union hints (e.g. ``Discipline | str``): consider every arm.
+            arms = typing.get_args(hint) if origin in _UNION_ORIGINS else (hint,)
+            for arm in arms:
+                if not isinstance(arm, type) or isinstance(value, arm):
+                    continue
+                if issubclass(arm, ConfigBase) and isinstance(value, Mapping):
+                    value = arm.from_dict(value)
+                    break
+                if issubclass(arm, enum.Enum):
+                    try:
+                        value = arm(value)
+                    except ValueError:
+                        continue
+                    break
+            if origin is tuple and isinstance(value, (list, tuple)):
+                value = tuple(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True, kw_only=True)
+class ObsConfig(ConfigBase):
+    """The single observability knob threaded through the runtime.
+
+    Everything is off by default: the process runs against no-op
+    registry/tracer singletons whose per-call cost is one attribute
+    access.  ``enabled=True`` switches the global context (see
+    :func:`repro.obs.configure`) to live instances.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  ``False`` forces the no-op registry *and*
+        tracer regardless of the flags below.
+    metrics:
+        Record into a live :class:`~repro.obs.registry.MetricsRegistry`
+        (counters, gauges, histograms).
+    trace:
+        Record spans into a live :class:`~repro.obs.trace.Tracer`.
+    trace_capacity:
+        Ring-buffer size of the tracer: the most recent this-many
+        completed spans are retained for export.
+    profile:
+        Arm the cProfile hook: :meth:`Observability.profile` regions
+        (benchmarks, ``run_closed_loop``) actually profile instead of
+        no-opping.  Expect 2–5x slowdown inside profiled regions.
+    profile_top:
+        Rows kept in each profile's flat dump.
+    """
+
+    enabled: bool = False
+    metrics: bool = True
+    trace: bool = True
+    trace_capacity: int = 4096
+    profile: bool = False
+    profile_top: int = 25
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity < 1:
+            raise ObsError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
+        if self.profile_top < 1:
+            raise ObsError(f"profile_top must be >= 1, got {self.profile_top}")

@@ -1,0 +1,118 @@
+"""Opt-in profiling hooks: cProfile with top-N flat dumps.
+
+Wrap any code region to attribute wall-clock to hot paths:
+
+>>> from repro.obs import profile
+>>> with profile(top_n=10) as report:
+...     expensive_work()
+>>> print(report.text)
+
+The report materializes when the ``with`` block exits; before that its
+fields are empty.  ``profile`` is deliberately independent of the
+global observability context so benchmarks can profile a single solve
+without enabling tracing — :meth:`Observability.profile` (see
+:mod:`repro.obs`) is the config-gated variant the runtime uses.
+
+cProfile costs 2–5x on pure-Python hot loops, so profiling is never on
+by default; it exists to *find* the hot path, after which the metrics
+registry and spans measure it cheaply.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+
+from .registry import ObsError
+
+__all__ = ["ProfileReport", "profile", "NullProfile"]
+
+
+class ProfileReport:
+    """Result of one profiled region (filled when the region exits).
+
+    Attributes
+    ----------
+    enabled:
+        Whether profiling actually ran (``False`` for the no-op hook).
+    text:
+        The ``pstats`` top-N flat dump, one row per function.
+    total_calls:
+        Total function calls observed.
+    total_seconds:
+        Total time attributed by the profiler.
+    """
+
+    def __init__(self, top_n: int, sort: str) -> None:
+        if top_n < 1:
+            raise ObsError(f"top_n must be >= 1, got {top_n}")
+        self.top_n = top_n
+        self.sort = sort
+        self.enabled = True
+        self.text = ""
+        self.total_calls = 0
+        self.total_seconds = 0.0
+        self._stats: pstats.Stats | None = None
+
+    def _finish(self, profiler: cProfile.Profile) -> None:
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats(self.sort).print_stats(self.top_n)
+        self._stats = stats
+        self.text = buf.getvalue()
+        self.total_calls = int(getattr(stats, "total_calls", 0))
+        self.total_seconds = float(getattr(stats, "total_tt", 0.0))
+
+    @property
+    def stats(self) -> pstats.Stats | None:
+        """The raw ``pstats.Stats`` (None until the region exits)."""
+        return self._stats
+
+    def dump(self, path: str) -> str:
+        """Write the flat dump to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.text)
+        return path
+
+    def __str__(self) -> str:
+        return self.text
+
+
+class profile:
+    """Context manager profiling its block with cProfile.
+
+    Parameters
+    ----------
+    top_n:
+        Rows kept in the flat dump.
+    sort:
+        ``pstats`` sort key (``"cumulative"``, ``"tottime"``,
+        ``"calls"``, ...).
+    """
+
+    def __init__(self, top_n: int = 25, sort: str = "cumulative") -> None:
+        self.report = ProfileReport(top_n, sort)
+        self._profiler = cProfile.Profile()
+
+    def __enter__(self) -> ProfileReport:
+        self._profiler.enable()
+        return self.report
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._profiler.disable()
+        self.report._finish(self._profiler)
+
+
+class NullProfile:
+    """No-op stand-in for :class:`profile` when profiling is off."""
+
+    def __init__(self) -> None:
+        self.report = ProfileReport(1, "cumulative")
+        self.report.enabled = False
+
+    def __enter__(self) -> ProfileReport:
+        return self.report
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass

@@ -32,8 +32,9 @@ import numpy as np
 
 from ..core.response import Discipline
 from ..core.result import LoadDistributionResult
-from ..core.solvers import optimize_load_distribution, resolve_method
+from ..core.solvers import dispatch, resolve_method
 from ..core.exceptions import ParameterError
+from ..obs import get_obs
 from ..workloads.sweeps import WARM_STARTABLE
 from .health import CapacityPlan, HealthTracker
 
@@ -123,7 +124,7 @@ class ResolveController:
         self._health = health
         self._discipline = Discipline.coerce(discipline)
         self._method = method
-        self._solve_fn = optimize_load_distribution if solve_fn is None else solve_fn
+        self._solve_fn = dispatch if solve_fn is None else solve_fn
         self._quantum = float(rate_quantum)
         self._cache_size = int(cache_size)
         self.hysteresis = float(hysteresis)
@@ -163,7 +164,38 @@ class ResolveController:
         the resilience supervisor's fallback chain steps through
         alternative backends this way.  Overridden solves share the
         same LRU cache (the backend name is part of the key).
+
+        When observability is enabled the decision is wrapped in a
+        ``resolve`` span and recorded as
+        ``repro_controller_cache_total{result="hit"|"miss"}`` plus, on
+        misses, the ``repro_resolve_seconds`` latency histogram.
         """
+        o = get_obs()
+        if not o.enabled:
+            return self._resolve(offered_rate, method)
+        with o.tracer.span("resolve", rate=float(offered_rate)) as sp:
+            out = self._resolve(offered_rate, method)
+            sp.note(
+                backend=out.result.method,
+                cache_hit=out.cache_hit,
+                solved_rate=out.solved_rate,
+            )
+        reg = o.registry
+        reg.counter(
+            "repro_controller_cache_total",
+            "Controller LRU cache outcomes",
+            labels=("result",),
+        ).labels(result="hit" if out.cache_hit else "miss").inc()
+        if not out.cache_hit:
+            reg.histogram(
+                "repro_resolve_seconds",
+                "Wall-clock seconds per uncached controller resolve",
+                lo=1e-6,
+                hi=1e3,
+            ).observe(out.latency)
+        return out
+
+    def _resolve(self, offered_rate: float, method: str | None) -> ResolveOutcome:
         plan = self._health.plan(offered_rate)
         group = self._health.active_group()
         fingerprint = self._health.fingerprint()
@@ -195,6 +227,16 @@ class ResolveController:
             group, solved_rate, self._discipline, method=backend, **kwargs
         )
         latency = time.perf_counter() - start
+
+        if "phi_hint" in kwargs and math.isfinite(result.phi):
+            o = get_obs()
+            if o.enabled:
+                o.registry.histogram(
+                    "repro_warm_start_phi_delta",
+                    "Distance from the warm-start hint to the converged phi",
+                    lo=1e-12,
+                    hi=1e3,
+                ).observe(abs(result.phi - kwargs["phi_hint"]))
 
         if math.isfinite(result.phi):
             self._phi_hint = result.phi

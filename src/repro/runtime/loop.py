@@ -31,6 +31,7 @@ from ..core.exceptions import ParameterError
 from ..core.response import Discipline
 from ..core.result import LoadDistributionResult
 from ..core.server import BladeServerGroup
+from ..obs import ConfigBase, ObsConfig, ProfileReport, configure, get_obs
 from ..sim.arrivals import TracedPoissonArrivals
 from ..sim.engine import GroupSimulation, SimulationConfig, SimulationResult
 from ..sim.rng import StreamFactory
@@ -51,9 +52,12 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class RuntimeConfig:
+@dataclass(frozen=True, kw_only=True)
+class RuntimeConfig(ConfigBase):
     """Tuning knobs of the online runtime (defaults are sane for sim scale).
+
+    Keyword-only and frozen; round-trips through ``to_dict()`` /
+    ``from_dict()`` like every config in the library.
 
     Attributes
     ----------
@@ -116,6 +120,13 @@ class RuntimeConfig:
     time_tolerance:
         Backwards-timestamp jitter the rate estimators clamp instead of
         raising on (replayed/merged event streams carry small jitter).
+    obs:
+        Observability knob (see :class:`repro.obs.ObsConfig`).  When
+        ``obs.enabled`` the runtime installs it as the global context
+        at construction, so solver spans, controller cache counters,
+        supervisor fallback metrics, and simulator event counters all
+        record for the run.  Off by default: every instrumented site
+        degrades to a no-op.
     """
 
     discipline: Discipline | str = Discipline.FCFS
@@ -141,6 +152,7 @@ class RuntimeConfig:
     watchdog: bool = True
     rho_cap: float = 0.995
     time_tolerance: float = 1e-6
+    obs: ObsConfig = ObsConfig()
 
 
 @dataclass(frozen=True)
@@ -195,6 +207,11 @@ class LoadDistributionRuntime:
     ) -> None:
         self.config = config
         self._now = 0.0
+        if config.obs.enabled:
+            configure(config.obs)
+        # Cached once: route() runs on every arrival, and the global
+        # lookup is the only per-call cost when observability is off.
+        self._obs = get_obs()
         if fault_plan is not None:
             fault_plan.bind_clock(lambda: self._now)
         self.health = HealthTracker(group, utilization_cap=config.utilization_cap)
@@ -203,9 +220,9 @@ class LoadDistributionRuntime:
             solver_kwargs["tol"] = config.solver_tol
         solve_fn = None
         if fault_plan is not None:
-            from ..core.solvers import optimize_load_distribution
+            from ..core.solvers import dispatch
 
-            solve_fn = fault_plan.wrap_solver(optimize_load_distribution)
+            solve_fn = fault_plan.wrap_solver(dispatch)
         self.controller = ResolveController(
             self.health,
             discipline=config.discipline,
@@ -410,6 +427,20 @@ class LoadDistributionRuntime:
 
     def route(self, servers=None) -> int:
         """Dispatcher protocol: shed or pick a destination server."""
+        o = self._obs
+        if not o.enabled:
+            return self._route()
+        with o.tracer.span("route") as sp:
+            dest = self._route()
+            sp.note(dest=dest)
+        o.registry.counter(
+            "repro_routes_total",
+            "Routing decisions by outcome",
+            labels=("outcome",),
+        ).labels(outcome="shed" if dest < 0 else "routed").inc()
+        return dest
+
+    def _route(self) -> int:
         if self._shed_fraction > 0.0 and self._shed_rng.random() < self._shed_fraction:
             self.metrics.counters.shed += 1
             return -1
@@ -437,6 +468,9 @@ class ClosedLoopResult:
     trace: RateTrace
     #: The failure schedule applied, as ``(time, server, kind)``.
     failures: tuple = field(default=())
+    #: The cProfile report of the simulation loop, when the run was
+    #: executed with ``ObsConfig(profile=True)``; ``None`` otherwise.
+    profile: ProfileReport | None = None
 
     @property
     def metrics(self) -> RuntimeMetrics:
@@ -513,12 +547,14 @@ def run_closed_loop(
         controls=controls,
         collect_tasks=collect_tasks,
     )
-    result = sim.run()
+    with runtime._obs.profile() as prof:
+        result = sim.run()
     return ClosedLoopResult(
         sim=result,
         runtime=runtime,
         trace=trace,
         failures=tuple(failures),
+        profile=prof if prof.enabled else None,
     )
 
 

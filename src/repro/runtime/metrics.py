@@ -4,6 +4,14 @@ Plain dataclasses and small accumulators — no exporter dependency — so
 both the simulation harness and any future metrics endpoint (Prometheus,
 CSV, logging) consume the same objects.  Everything here is *observed*
 by the runtime's hot path, so the accumulators are O(1) per event.
+
+The incident, fallback-depth, and shed accumulators are backed by a
+per-instance :class:`repro.obs.MetricsRegistry` (see
+:attr:`RuntimeMetrics.registry`): the historical attribute surface
+(``incidents.counts``, ``fallback_depth.by_source``, ``shed.events``,
+...) is preserved as property shims over the registry families, and
+the registry itself is deliberately *not* the process-global one so
+parallel runs (the 20-seed chaos suite) never share counters.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.exceptions import ParameterError, SimulationError
+from ..obs import MetricsRegistry
 from ..sim.stats import RunningStats
 
 __all__ = [
@@ -216,13 +225,25 @@ class IncidentLog:
     totals survive eviction.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self, capacity: int = 1024, registry: MetricsRegistry | None = None
+    ) -> None:
         if capacity < 1:
             raise ParameterError(f"capacity must be >= 1, got {capacity}")
         self._capacity = int(capacity)
         self._records: list[IncidentRecord] = []
-        #: Total records ever emitted, per kind (not just retained).
-        self.counts: dict[str, int] = {}
+        self._counts = (
+            registry if registry is not None else MetricsRegistry()
+        ).counter(
+            "runtime_incidents_total",
+            "Incidents ever emitted (including evicted ones), per kind",
+            labels=("kind",),
+        )
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Total records ever emitted, per kind (not just retained)."""
+        return {k[0]: int(v) for k, v in self._counts.values_by_label().items()}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -245,7 +266,7 @@ class IncidentLog:
         self._records.append(record)
         if len(self._records) > self._capacity:
             del self._records[0]
-        self.counts[record.kind] = self.counts.get(record.kind, 0) + 1
+        self._counts.labels(kind=record.kind).inc()
         return record
 
     def of_kind(self, kind: str) -> tuple[IncidentRecord, ...]:
@@ -261,18 +282,37 @@ class FallbackDepthCounters:
     its own depth bucket, keyed by the rung's source label.
     """
 
-    def __init__(self) -> None:
-        #: Decisions per source label (e.g. ``"primary"``,
-        #: ``"fallback:bisection"``, ``"fallback:proportional"``,
-        #: ``"circuit-pinned"``, ``"cluster-down"``).
-        self.by_source: dict[str, int] = {}
-        #: Decisions per numeric chain depth.
-        self.by_depth: dict[int, int] = {}
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self._by_source = reg.counter(
+            "runtime_fallback_total",
+            "Decisions per provenance label",
+            labels=("source",),
+        )
+        self._by_depth = reg.counter(
+            "runtime_fallback_depth_total",
+            "Decisions per fallback-chain depth (0 = primary)",
+            labels=("depth",),
+        )
+
+    @property
+    def by_source(self) -> dict[str, int]:
+        """Decisions per source label (e.g. ``"primary"``,
+        ``"fallback:bisection"``, ``"fallback:proportional"``,
+        ``"circuit-pinned"``, ``"cluster-down"``)."""
+        return {k[0]: int(v) for k, v in self._by_source.values_by_label().items()}
+
+    @property
+    def by_depth(self) -> dict[int, int]:
+        """Decisions per numeric chain depth."""
+        return {
+            int(k[0]): int(v) for k, v in self._by_depth.values_by_label().items()
+        }
 
     def record(self, source: str, depth: int) -> None:
         """Count one decision answered by ``source`` at ``depth``."""
-        self.by_source[source] = self.by_source.get(source, 0) + 1
-        self.by_depth[depth] = self.by_depth.get(depth, 0) + 1
+        self._by_source.labels(source=source).inc()
+        self._by_depth.labels(depth=str(int(depth))).inc()
 
     @property
     def max_depth(self) -> int:
@@ -294,16 +334,36 @@ class ShedTracker:
     separately from "how much did we drop?".
     """
 
-    def __init__(self) -> None:
-        #: The live shed fraction (gauge).
-        self.current: float = 0.0
-        #: Episodes: transitions from not-shedding to shedding.
-        self.events: int = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self._current = reg.gauge(
+            "runtime_shed_fraction", "The live shed fraction"
+        )
+        self._events = reg.counter(
+            "runtime_shed_episodes_total",
+            "Transitions from not-shedding to shedding",
+        )
+        self._peak = reg.gauge(
+            "runtime_shed_peak_fraction", "Largest shed fraction ever adopted"
+        )
         #: Simulation time the current episode started (nan when not
         #: shedding).
         self.since: float = math.nan
-        #: Largest shed fraction ever adopted.
-        self.peak: float = 0.0
+
+    @property
+    def current(self) -> float:
+        """The live shed fraction (gauge)."""
+        return float(self._current.value)
+
+    @property
+    def events(self) -> int:
+        """Episodes: transitions from not-shedding to shedding."""
+        return int(self._events.value)
+
+    @property
+    def peak(self) -> float:
+        """Largest shed fraction ever adopted."""
+        return float(self._peak.value)
 
     @property
     def shedding(self) -> bool:
@@ -315,12 +375,13 @@ class ShedTracker:
         if fraction < 0.0 or fraction > 1.0 or not math.isfinite(fraction):
             raise ParameterError(f"shed fraction must be in [0, 1], got {fraction!r}")
         if fraction > 0.0 and self.current == 0.0:
-            self.events += 1
+            self._events.inc()
             self.since = now
         elif fraction == 0.0 and self.current > 0.0:
             self.since = math.nan
-        self.current = fraction
-        self.peak = max(self.peak, fraction)
+        self._current.set(fraction)
+        if fraction > self.peak:
+            self._peak.set(fraction)
 
 
 @dataclass
@@ -345,6 +406,11 @@ class RuntimeMetrics:
         Per-source / per-depth decision counters of the fallback chain.
     shed:
         Live shed-fraction gauge and shed-episode counter.
+    registry:
+        The per-instance metrics registry the incident/fallback/shed
+        accumulators record into.  Per instance, not the process-global
+        :func:`repro.obs.get_obs` registry, so concurrent runs (e.g.
+        the multi-seed chaos suite) never contaminate each other.
     circuit_state:
         The supervisor's circuit-breaker state gauge (``"closed"``,
         ``"open"``, or ``"half-open"``); stays ``"closed"`` when no
@@ -359,12 +425,21 @@ class RuntimeMetrics:
     incidents: IncidentLog = field(default_factory=IncidentLog)
     fallback_depth: FallbackDepthCounters = field(default_factory=FallbackDepthCounters)
     shed: ShedTracker = field(default_factory=ShedTracker)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     circuit_state: str = "closed"
 
     @classmethod
     def for_group_size(cls, n: int) -> "RuntimeMetrics":
-        """Fresh metrics for an ``n``-server group."""
-        return cls(counters=RuntimeCounters(), routed=RateGauges(n))
+        """Fresh metrics for an ``n``-server group, on one shared registry."""
+        registry = MetricsRegistry()
+        return cls(
+            counters=RuntimeCounters(),
+            routed=RateGauges(n),
+            incidents=IncidentLog(registry=registry),
+            fallback_depth=FallbackDepthCounters(registry=registry),
+            shed=ShedTracker(registry=registry),
+            registry=registry,
+        )
 
     def on_response(self, response_time: float) -> None:
         """Record one completed generic task's response time."""

@@ -15,6 +15,7 @@ within confidence intervals — a check the paper itself never performs).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +23,7 @@ import numpy as np
 from ..core.exceptions import ParameterError, SimulationError
 from ..core.response import Discipline
 from ..core.server import BladeServerGroup
+from ..obs import get_obs
 from .arrivals import ArrivalProcess, PoissonArrivals
 from .dispatcher import Dispatcher, ProbabilisticDispatcher
 from .events import EventQueue, EventType
@@ -323,91 +325,129 @@ class GroupSimulation:
             service = task.service_time(self.group.speeds[task.server_index])
             events.schedule(now + service, EventType.DEPARTURE, payload=task)
 
-        while events:
-            ev = events.pop()
-            now = ev.time
-            self._now = now
+        o = get_obs()
+        obs_on = o.enabled
+        ev_counts: dict[str, int] = {}
+        wall_start = time.perf_counter()
+        sim_span = o.tracer.span("sim.run", n=n, horizon=cfg.horizon)
+        sim_span.__enter__()
+        try:
+            while events:
+                ev = events.pop()
+                now = ev.time
+                self._now = now
+                if obs_on:
+                    kind = ev.kind.name
+                    ev_counts[kind] = ev_counts.get(kind, 0) + 1
 
-            if ev.kind is EventType.END_OF_RUN:
-                break
+                if ev.kind is EventType.END_OF_RUN:
+                    break
 
-            if ev.kind is EventType.END_OF_WARMUP:
-                # Restart every integrator at the current state and drop
-                # all per-task statistics collected so far.
-                measuring = True
-                for i in range(n):
-                    busy_tw[i].reset(now, self._servers[i].busy)
-                    system_tw[i].reset(now, self._servers[i].in_system)
-                continue
-
-            if ev.kind is EventType.CONTROL:
-                ev.payload(self, now)
-                continue
-
-            if ev.kind is EventType.GENERIC_ARRIVAL:
-                # Schedule the next generic arrival, then route this one.
-                events.schedule(
-                    now + self._arrivals.next_interarrival(self._arrival_rng),
-                    EventType.GENERIC_ARRIVAL,
-                )
-                if self._arrival_listener is not None:
-                    self._arrival_listener(now)
-                dest = self._dispatcher.route(self._servers)
-                if dest < 0:
-                    # Dispatcher shed the task (degraded mode): it never
-                    # enters any queue and produces no statistics.
-                    if measuring:
-                        gen_shed += 1
+                if ev.kind is EventType.END_OF_WARMUP:
+                    # Restart every integrator at the current state and drop
+                    # all per-task statistics collected so far.
+                    measuring = True
+                    for i in range(n):
+                        busy_tw[i].reset(now, self._servers[i].busy)
+                        system_tw[i].reset(now, self._servers[i].in_system)
                     continue
-                task = self._new_task(TaskClass.GENERIC, dest, now)
-                started = self._servers[dest].on_arrival(task, now)
-                if started is not None:
-                    start_service(started, now)
-                record_state(dest, now)
-                continue
 
-            if ev.kind is EventType.SPECIAL_ARRIVAL:
-                i = ev.payload
-                rate = self.group.servers[i].special_rate
-                events.schedule(
-                    now + exponential(self._special_rngs[i], 1.0 / rate),
-                    EventType.SPECIAL_ARRIVAL,
-                    payload=i,
+                if ev.kind is EventType.CONTROL:
+                    ev.payload(self, now)
+                    continue
+
+                if ev.kind is EventType.GENERIC_ARRIVAL:
+                    # Schedule the next generic arrival, then route this one.
+                    events.schedule(
+                        now + self._arrivals.next_interarrival(self._arrival_rng),
+                        EventType.GENERIC_ARRIVAL,
+                    )
+                    if self._arrival_listener is not None:
+                        self._arrival_listener(now)
+                    dest = self._dispatcher.route(self._servers)
+                    if dest < 0:
+                        # Dispatcher shed the task (degraded mode): it never
+                        # enters any queue and produces no statistics.
+                        if measuring:
+                            gen_shed += 1
+                        continue
+                    task = self._new_task(TaskClass.GENERIC, dest, now)
+                    started = self._servers[dest].on_arrival(task, now)
+                    if started is not None:
+                        start_service(started, now)
+                    record_state(dest, now)
+                    continue
+
+                if ev.kind is EventType.SPECIAL_ARRIVAL:
+                    i = ev.payload
+                    rate = self.group.servers[i].special_rate
+                    events.schedule(
+                        now + exponential(self._special_rngs[i], 1.0 / rate),
+                        EventType.SPECIAL_ARRIVAL,
+                        payload=i,
+                    )
+                    task = self._new_task(TaskClass.SPECIAL, i, now)
+                    started = self._servers[i].on_arrival(task, now)
+                    if started is not None:
+                        start_service(started, now)
+                    record_state(i, now)
+                    continue
+
+                if ev.kind is EventType.DEPARTURE:
+                    task = ev.payload
+                    task.completion_time = now
+                    i = task.server_index
+                    nxt = self._servers[i].on_departure(now)
+                    if nxt is not None:
+                        start_service(nxt, now)
+                    record_state(i, now)
+                    if self._completion_listener is not None:
+                        self._completion_listener(task, now)
+                    # Count the completion only if the task *arrived* after
+                    # warmup, so its whole sojourn lies in the window.
+                    if measuring and task.arrival_time >= cfg.warmup:
+                        if self._collect_tasks:
+                            task_log.append(task)
+                        if task.task_class is TaskClass.GENERIC:
+                            gen_resp.add(task.response_time)
+                            gen_wait.add(task.waiting_time)
+                            gen_done += 1
+                            gen_done_per_server[i] += 1
+                        else:
+                            spec_resp.add(task.response_time)
+                            spec_wait.add(task.waiting_time)
+                            spec_done += 1
+                    continue
+
+                raise SimulationError(f"unhandled event kind {ev.kind}")  # pragma: no cover
+
+            if obs_on:
+                sim_span.note(
+                    events=sum(ev_counts.values()),
+                    wall_seconds=time.perf_counter() - wall_start,
                 )
-                task = self._new_task(TaskClass.SPECIAL, i, now)
-                started = self._servers[i].on_arrival(task, now)
-                if started is not None:
-                    start_service(started, now)
-                record_state(i, now)
-                continue
-
-            if ev.kind is EventType.DEPARTURE:
-                task = ev.payload
-                task.completion_time = now
-                i = task.server_index
-                nxt = self._servers[i].on_departure(now)
-                if nxt is not None:
-                    start_service(nxt, now)
-                record_state(i, now)
-                if self._completion_listener is not None:
-                    self._completion_listener(task, now)
-                # Count the completion only if the task *arrived* after
-                # warmup, so its whole sojourn lies in the window.
-                if measuring and task.arrival_time >= cfg.warmup:
-                    if self._collect_tasks:
-                        task_log.append(task)
-                    if task.task_class is TaskClass.GENERIC:
-                        gen_resp.add(task.response_time)
-                        gen_wait.add(task.waiting_time)
-                        gen_done += 1
-                        gen_done_per_server[i] += 1
-                    else:
-                        spec_resp.add(task.response_time)
-                        spec_wait.add(task.waiting_time)
-                        spec_done += 1
-                continue
-
-            raise SimulationError(f"unhandled event kind {ev.kind}")  # pragma: no cover
+        finally:
+            sim_span.__exit__(None, None, None)
+        if obs_on:
+            wall = time.perf_counter() - wall_start
+            total_events = sum(ev_counts.values())
+            reg = o.registry
+            fam = reg.counter(
+                "repro_sim_events_total",
+                "Simulation events processed, by event kind",
+                labels=("kind",),
+            )
+            for kind, count in ev_counts.items():
+                fam.labels(kind=kind).inc(count)
+            if wall > 0.0:
+                reg.gauge(
+                    "repro_sim_events_per_second",
+                    "Event-loop occupancy of the last simulation run",
+                ).set(total_events / wall)
+                reg.gauge(
+                    "repro_sim_time_dilation",
+                    "Simulated time units per wall-clock second (last run)",
+                ).set(self._now / wall)
 
         end = cfg.horizon
         utilizations = np.array(

@@ -16,6 +16,7 @@ is an excellent bracket anchor.
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -24,12 +25,13 @@ from ..core.exceptions import ParameterError
 from ..core.response import Discipline
 from ..core.result import LoadDistributionResult
 from ..core.server import BladeServerGroup
-from ..core.solvers import optimize_load_distribution, resolve_method
+from ..core.solvers import warm_startable_methods
 
 __all__ = ["sweep_rates", "shared_sweep", "solve_sweep", "WARM_STARTABLE"]
 
-#: Backends whose solver accepts a ``phi_hint`` warm start.
-WARM_STARTABLE = frozenset({"bisection", "vectorized"})
+#: Backends whose solver accepts a ``phi_hint`` warm start (sourced from
+#: the method registry; kept as a module constant for back compat).
+WARM_STARTABLE = warm_startable_methods()
 
 
 def sweep_rates(
@@ -84,43 +86,29 @@ def solve_sweep(
 ) -> list[LoadDistributionResult]:
     """Solve one group at every ``lambda'`` of a sweep grid, in order.
 
-    For backends in :data:`WARM_STARTABLE` (``warm_start=True``), each
-    point after the first passes the previous point's converged ``phi``
-    as ``phi_hint``, so the solver brackets the new multiplier around
-    the old one instead of re-doubling from the cold-start seed.  The
-    results are identical to cold starts up to the solver tolerance;
-    only the bracketing work changes.
-
-    Parameters
-    ----------
-    group:
-        The server group to optimize.
-    rates:
-        Total generic arrival rates, one sweep point each.  Warm
-        starting works best when they are monotone (as the figure grids
-        are), but correctness does not depend on ordering.
-    discipline, method, **solver_kwargs:
-        Forwarded to
-        :func:`~repro.core.solvers.optimize_load_distribution`.
-    warm_start:
-        Disable to force every point onto the cold-start path (used by
-        benchmarks comparing the two).
+    .. deprecated:: 1.1
+        Use :func:`repro.solve_sweep` (keyword-only arguments, returns
+        :class:`~repro.api.SolveResult` objects); this wrapper keeps
+        the historical positional signature and delegates to it.
     """
-    name = resolve_method(group, method)
-    hintable = warm_start and name in WARM_STARTABLE
-    results: list[LoadDistributionResult] = []
-    hint: float | None = None
-    for rate in rates:
-        kwargs = dict(solver_kwargs)
-        if hintable and hint is not None:
-            kwargs["phi_hint"] = hint
-        result = optimize_load_distribution(
-            group, float(rate), discipline, method=name, **kwargs
+    warnings.warn(
+        "repro.workloads.sweeps.solve_sweep() is deprecated; use "
+        "repro.solve_sweep(group, rates, discipline=..., method=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import solve_sweep as _facade_sweep
+
+    return list(
+        _facade_sweep(
+            group,
+            rates,
+            discipline=discipline,
+            method=method,
+            warm_start=warm_start,
+            **solver_kwargs,
         )
-        if hintable:
-            hint = result.phi
-        results.append(result)
-    return results
+    )
 
 
 def _check(points: int, lo: float, hi: float) -> None:

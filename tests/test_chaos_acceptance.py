@@ -18,7 +18,10 @@ correlated outages) and asserts the ISSUE's acceptance criteria:
   answering at least one decision.
 
 Set ``CHAOS_LOG_DIR`` to archive the full JSON evidence trail (the CI
-chaos job does, and uploads it as an artifact when the suite fails).
+chaos job does, and uploads it as a build artifact on every run).
+Archived runs enable observability, so the span trace (``trace.jsonl``)
+and the metrics snapshot (``metrics.json``) ship beside the incident
+logs.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.faults import (
     dump_chaos_artifacts,
     run_chaos,
 )
+from repro.obs import ObsConfig, configure, get_obs, reset_obs
 from repro.runtime import RuntimeConfig
 
 N_SEEDS = int(os.environ.get("CHAOS_SEEDS", "20"))
@@ -59,10 +63,19 @@ def rate(group):
 @pytest.fixture(scope="module")
 def report(group, rate):
     """The randomized suite, run once and shared by every assertion."""
-    rep = run_chaos(group, rate, seeds=range(N_SEEDS), horizon=HORIZON)
     log_dir = os.environ.get("CHAOS_LOG_DIR")
     if log_dir:
-        dump_chaos_artifacts(rep, log_dir)
+        # Archived runs carry the full observability trail: span trace
+        # (solve/resolve/fallback/route/sim.run) and metrics snapshot
+        # land beside the incident logs in the uploaded artifact.
+        configure(ObsConfig(enabled=True, trace_capacity=65_536))
+    try:
+        rep = run_chaos(group, rate, seeds=range(N_SEEDS), horizon=HORIZON)
+        if log_dir:
+            dump_chaos_artifacts(rep, log_dir)
+    finally:
+        if log_dir:
+            reset_obs()
     return rep
 
 
@@ -192,7 +205,10 @@ class TestEveryFallbackRungExercised:
 class TestArtifacts:
     def test_dump_writes_valid_json(self, report, tmp_path):
         paths = dump_chaos_artifacts(report, str(tmp_path))
-        assert len(paths) == 1 + report.n_runs
+        # Obs-enabled processes (CHAOS_LOG_DIR archive runs) add the
+        # span trace and metrics snapshot beside the incident logs.
+        extra = 2 if get_obs().enabled else 0
+        assert len(paths) == 1 + report.n_runs + extra
         with open(paths[0], encoding="utf-8") as fh:
             summary = json.load(fh)
         assert summary["n_runs"] == report.n_runs

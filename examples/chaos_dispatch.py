@@ -18,23 +18,40 @@ Two parts:
 2. a **chaos sweep**: ``run_chaos`` over a batch of seeded randomized
    schedules, with the safety audit (no watchdog violations, no task
    routed into a down window) and the replication-CI re-convergence
-   check the acceptance suite enforces.
+   check the acceptance suite enforces, and
+3. a **crash sweep**: the same harness with ``allow_crash=True`` — the
+   control plane is hard-killed mid-run and rebuilt from its
+   write-ahead journal + checkpoints (``repro.recovery``), with the
+   recovery telemetry printed.
 
 Run with::
 
     python examples/chaos_dispatch.py
+
+Set ``REPRO_EXAMPLE_QUICK=1`` for a seconds-long smoke run and
+``REPRO_EXAMPLE_OUTDIR`` to choose where recovery state lands.
 """
+
+import os
+import tempfile
 
 from repro import BladeServerGroup
 from repro.faults import FaultPlan, FaultSchedule, FaultSpec, run_chaos
 from repro.runtime import RuntimeConfig, run_closed_loop
 from repro.workloads import RateTrace
 
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+SCALE = 0.2 if QUICK else 1.0
+N_SWEEP = 3 if QUICK else 8
+OUTDIR = os.environ.get("REPRO_EXAMPLE_OUTDIR") or tempfile.mkdtemp(
+    prefix="repro-chaos-dispatch-"
+)
+
 group = BladeServerGroup.with_special_fraction(
     sizes=[2, 4, 6], speeds=[1.4, 1.2, 1.0], fraction=0.3
 )
 RATE = 0.55 * group.max_generic_rate
-HORIZON = 6_000.0
+HORIZON = 6_000.0 * SCALE
 config = RuntimeConfig(router="alias")
 
 # ---------------------------------------------------------------- part 1
@@ -43,10 +60,11 @@ config = RuntimeConfig(router="alias")
 # multiplicative noise, and later servers 0 and 1 drop simultaneously.
 schedule = FaultSchedule(
     [
-        FaultSpec("solver-error", 500.0, 2_000.0,
+        FaultSpec("solver-error", 500.0 * SCALE, 2_000.0 * SCALE,
                   {"methods": ("kkt", "vectorized", "closed-form")}),
-        FaultSpec("estimator-noise", 500.0, 2_000.0, {"sigma": 0.2}),
-        FaultSpec("correlated-outage", 3_500.0, 4_200.0,
+        FaultSpec("estimator-noise", 500.0 * SCALE, 2_000.0 * SCALE,
+                  {"sigma": 0.2}),
+        FaultSpec("correlated-outage", 3_500.0 * SCALE, 4_200.0 * SCALE,
                   {"servers": (0, 1)}),
     ],
     seed=11,
@@ -87,8 +105,8 @@ print(f"  watchdog violations: {m.counters.watchdog_violations} "
 # the analytic optimum of the healed system.
 print()
 print("chaos sweep over randomized fault schedules:")
-report = run_chaos(group, RATE, seeds=range(8), horizon=4_000.0,
-                   config=config)
+report = run_chaos(group, RATE, seeds=range(N_SWEEP),
+                   horizon=4_000.0 * SCALE, config=config)
 print(report.render())
 lo, hi = report.tail_confidence_interval()
 print(f"post-fault tail CI [{lo:.4f}, {hi:.4f}] "
@@ -97,3 +115,22 @@ print(f"post-fault tail CI [{lo:.4f}, {hi:.4f}] "
 assert report.all_completed
 assert report.total_watchdog_violations == 0
 assert report.total_routed_to_down == 0
+
+# ---------------------------------------------------------------- part 3
+# Crash recovery: the schedules may now also hard-kill the control
+# plane mid-run.  The harness rebuilds each crashed dispatcher from the
+# latest checkpoint plus a deterministic replay of the journal tail,
+# then lets the run continue on the *same* event stream — the audits
+# above must still hold.
+print()
+print("crash sweep (control plane killed and restored from disk):")
+crash_report = run_chaos(group, RATE, seeds=range(N_SWEEP),
+                         horizon=4_000.0 * SCALE, config=config,
+                         allow_crash=True,
+                         recovery_dir=os.path.join(OUTDIR, "crash-recovery"))
+replayed = sum(r.journal_replayed for r in crash_report.records)
+print(f"  crashes survived: {crash_report.total_crashes} across "
+      f"{crash_report.n_runs} runs, {replayed} journal records replayed")
+assert crash_report.all_completed
+assert crash_report.total_watchdog_violations == 0
+assert crash_report.total_routed_to_down == 0

@@ -10,11 +10,22 @@ the closed-form T'.
 Run with (takes ~1 minute)::
 
     python examples/simulation_validation.py
+
+Set ``REPRO_EXAMPLE_QUICK=1`` for a seconds-long smoke run (shorter
+horizon, fewer replications — CI does this; the confidence intervals
+widen accordingly).
 """
+
+import os
 
 from repro.analysis import validate_model
 from repro.workloads import example_group
 from repro.workloads.paper import EXAMPLE_TOTAL_RATE
+
+QUICK = bool(os.environ.get("REPRO_EXAMPLE_QUICK"))
+REPLICATIONS = 2 if QUICK else 3
+HORIZON = 1_500.0 if QUICK else 10_000.0
+WARMUP = 300.0 if QUICK else 1_000.0
 
 group = example_group()
 
@@ -29,9 +40,9 @@ for discipline in ("fcfs", "priority"):
         group,
         EXAMPLE_TOTAL_RATE,
         discipline,
-        replications=3,
-        horizon=10_000.0,
-        warmup=1_000.0,
+        replications=REPLICATIONS,
+        horizon=HORIZON,
+        warmup=WARMUP,
         seed=0,
     )
     print(f"  {report.render()}")

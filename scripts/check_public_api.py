@@ -36,6 +36,7 @@ SIGNATURE_NAMES = (
     "run_closed_loop",
     "register_method",
     "random_fault_schedule",
+    "restore_runtime",
     "optimize_load_distribution",
 )
 
@@ -66,7 +67,7 @@ def render_snapshot() -> str:
         obj = getattr(repro, name)
         lines.append(f"{name}{inspect.signature(obj)}")
     lines += ["", "[configs]"]
-    for cfg_name in ("ObsConfig", "RuntimeConfig"):
+    for cfg_name in ("ObsConfig", "RuntimeConfig", "RecoveryConfig"):
         cls = getattr(repro, cfg_name)
         import dataclasses
 

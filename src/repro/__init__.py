@@ -47,6 +47,10 @@ Subpackages
 ``repro.faults``
     Fault injection (:class:`FaultSpec`, :class:`FaultSchedule`) and
     the supervised resilience layer.
+``repro.recovery``
+    Durable control-plane state: write-ahead decision journal,
+    versioned checkpoints, deterministic crash recovery
+    (:func:`restore_runtime`).
 ``repro.dispatch``
     Load-distribution policies: the optimal split plus baselines.
 ``repro.workloads``
@@ -74,9 +78,12 @@ from .core import (
     available_methods,
     optimize_load_distribution,
 )
+from .core.exceptions import RecoveryError
 from .core.solvers import register_method, registered_methods
 from .faults.schedule import FaultSchedule, FaultSpec, random_fault_schedule
 from .obs import ObsConfig, configure, get_obs, reset_obs
+from .recovery import RecoveryConfig
+from .recovery.resume import RestoreReport, restore_runtime
 from .runtime.loop import ClosedLoopResult, RuntimeConfig, run_closed_loop
 
 __version__ = "1.1.0"
@@ -105,6 +112,10 @@ __all__ = [
     "FaultSpec",
     "FaultSchedule",
     "random_fault_schedule",
+    # Durability / crash recovery.
+    "RecoveryConfig",
+    "RestoreReport",
+    "restore_runtime",
     # Observability.
     "ObsConfig",
     "configure",
@@ -117,6 +128,7 @@ __all__ = [
     "SaturationError",
     "ConvergenceError",
     "SimulationError",
+    "RecoveryError",
     # Deprecated (kept working; prefer `solve`).
     "optimize_load_distribution",
     "__version__",

@@ -18,6 +18,7 @@ __all__ = [
     "SimulationError",
     "ClusterDownError",
     "SolverTimeoutError",
+    "RecoveryError",
 ]
 
 
@@ -104,6 +105,24 @@ class ClusterDownError(ReproError, RuntimeError):
         super().__init__(message)
         #: Size of the (fully down) group, when known.
         self.n_servers = n_servers
+
+
+class RecoveryError(ReproError, RuntimeError):
+    """Durable control-plane state could not be restored.
+
+    Raised when no usable checkpoint exists in a recovery directory,
+    when a checkpoint was written by an incompatible schema version, or
+    when the persisted topology/configuration contradicts what the
+    caller asked to restore.  A *torn* journal tail or a corrupt latest
+    checkpoint generation is **not** an error — recovery falls back to
+    the last valid record / previous generation silently and reports it
+    in the :class:`~repro.recovery.resume.RestoreReport`.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        super().__init__(message)
+        #: Filesystem path implicated in the failure, when known.
+        self.path = path
 
 
 class SolverTimeoutError(ConvergenceError):

@@ -21,9 +21,10 @@ CI job can archive the full evidence trail as a JSON artifact
 
 from __future__ import annotations
 
-import json
+import dataclasses
 import math
 import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -33,6 +34,8 @@ from ..core.exceptions import ParameterError
 from ..core.server import BladeServerGroup
 from ..core.solvers import dispatch
 from ..obs import get_obs
+from ..recovery.checkpoint import RecoveryConfig
+from ..recovery.journal import atomic_write_json
 from ..runtime.loop import RuntimeConfig, run_closed_loop
 from ..workloads.traces import RateTrace
 from .injectors import FaultPlan
@@ -81,6 +84,10 @@ class ChaosRunRecord:
     analytic_t_prime: float = math.nan
     #: ``|tail_mean - analytic| / analytic``.
     tail_relative_error: float = math.nan
+    #: Control-plane crash/restore cycles performed during the run.
+    crashes: int = 0
+    #: Journal records replayed across those restores.
+    journal_replayed: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serializable form for CI artifacts."""
@@ -100,6 +107,8 @@ class ChaosRunRecord:
             "tail_count": self.tail_count,
             "analytic_t_prime": self.analytic_t_prime,
             "tail_relative_error": self.tail_relative_error,
+            "crashes": self.crashes,
+            "journal_replayed": self.journal_replayed,
         }
 
 
@@ -134,6 +143,11 @@ class ChaosSuiteReport:
     def total_routed_to_down(self) -> int:
         """Down-server routing audit failures summed over all runs."""
         return sum(r.routed_to_down for r in self.records)
+
+    @property
+    def total_crashes(self) -> int:
+        """Crash/restore cycles summed over all runs."""
+        return sum(r.crashes for r in self.records)
 
     @property
     def sources_used(self) -> frozenset:
@@ -249,6 +263,8 @@ def run_chaos(
     quiet_tail: float = 0.35,
     max_faults: int = 5,
     allow_cluster_down: bool = True,
+    allow_crash: bool = False,
+    recovery_dir: str | None = None,
 ) -> ChaosSuiteReport:
     """Run the chaos acceptance suite and return the audited report.
 
@@ -273,6 +289,16 @@ def run_chaos(
         tail starts; defaults to 30% of the post-fault stretch.
     quiet_tail, max_faults, allow_cluster_down:
         Forwarded to :func:`random_fault_schedule`.
+    allow_crash:
+        Add one control-plane ``crash`` point event per randomized
+        schedule (see :func:`random_fault_schedule`); the crashed
+        runtime is rebuilt from its write-ahead journal mid-run.
+    recovery_dir:
+        Base directory for the per-seed journal/checkpoint directories
+        crash runs need.  Defaults to a fresh temporary directory.
+        Recovery is auto-enabled (per-seed subdirectory) for any seed
+        whose schedule carries a crash fault, whether it came from
+        ``allow_crash`` or from a crafted ``schedule_factory``.
     """
     if config is None:
         config = RuntimeConfig(router="alias")
@@ -280,6 +306,7 @@ def run_chaos(
         group, rate, config.discipline
     ).mean_response_time
     records: list[ChaosRunRecord] = []
+    recovery_base = recovery_dir
     for seed in seeds:
         if schedule_factory is not None:
             schedule = schedule_factory(seed)
@@ -291,13 +318,27 @@ def run_chaos(
                 quiet_tail=quiet_tail,
                 max_faults=max_faults,
                 allow_cluster_down=allow_cluster_down,
+                allow_crash=allow_crash,
             )
         plan = FaultPlan(schedule)
+        run_config = config
+        if plan.crash_specs and not config.recovery.enabled:
+            # Crash runs need somewhere durable to restore from; give
+            # each seed its own journal/checkpoint directory.
+            if recovery_base is None:
+                recovery_base = tempfile.mkdtemp(prefix="repro-chaos-recovery-")
+            run_config = dataclasses.replace(
+                config,
+                recovery=RecoveryConfig(
+                    enabled=True,
+                    directory=os.path.join(recovery_base, f"seed-{seed}"),
+                ),
+            )
         try:
             out = run_closed_loop(
                 group,
                 RateTrace.constant(rate),
-                config,
+                run_config,
                 horizon=horizon,
                 warmup=0.0,
                 seed=seed,
@@ -344,6 +385,8 @@ def run_chaos(
                 tail_relative_error=(
                     abs(tail_mean - analytic) / analytic if tail else math.nan
                 ),
+                crashes=len(out.restores),
+                journal_replayed=sum(r.replayed_records for r in out.restores),
             )
         )
     return ChaosSuiteReport(records=tuple(records), analytic_t_prime=analytic)
@@ -361,27 +404,30 @@ def dump_chaos_artifacts(report: ChaosSuiteReport, directory: str) -> list[str]:
     """
     os.makedirs(directory, exist_ok=True)
     paths = []
-    summary = os.path.join(directory, "chaos_report.json")
-    with open(summary, "w", encoding="utf-8") as fh:
-        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
-    paths.append(summary)
+    # Every artifact goes through the atomic temp+rename helper: a CI
+    # job killed mid-dump leaves whole files or no files, never torn
+    # JSON the artifact consumers choke on.
+    paths.append(
+        atomic_write_json(os.path.join(directory, "chaos_report.json"), report.to_dict(), sort_keys=True)
+    )
     for record in report.records:
-        path = os.path.join(directory, f"incidents_seed_{record.seed}.json")
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(
+        paths.append(
+            atomic_write_json(
+                os.path.join(directory, f"incidents_seed_{record.seed}.json"),
                 {"seed": record.seed, "incidents": list(record.incidents)},
-                fh,
-                indent=2,
                 sort_keys=True,
             )
-        paths.append(path)
+        )
     o = get_obs()
     if o.enabled:
         trace_path = os.path.join(directory, "trace.jsonl")
-        o.tracer.export_jsonl(trace_path)
+        tmp = os.path.join(directory, f".trace.jsonl.tmp.{os.getpid()}")
+        o.tracer.export_jsonl(tmp)
+        os.replace(tmp, trace_path)
         paths.append(trace_path)
-        metrics_path = os.path.join(directory, "metrics.json")
-        with open(metrics_path, "w", encoding="utf-8") as fh:
-            json.dump(o.registry.to_dict(), fh, indent=2, sort_keys=True)
-        paths.append(metrics_path)
+        paths.append(
+            atomic_write_json(
+                os.path.join(directory, "metrics.json"), o.registry.to_dict(), sort_keys=True
+            )
+        )
     return paths

@@ -28,8 +28,9 @@ from typing import Callable
 
 from ..core.exceptions import ConvergenceError, ParameterError, SolverTimeoutError
 from ..runtime.estimator import RateEstimator
-from ..sim.rng import StreamFactory
+from ..sim.rng import StreamFactory, generator_state, set_generator_state
 from .schedule import (
+    CRASH_FAULT_KINDS,
     ESTIMATOR_FAULT_KINDS,
     HEALTH_FAULT_KINDS,
     SOLVER_FAULT_KINDS,
@@ -155,6 +156,27 @@ class FaultyRateEstimator(RateEstimator):
     def reset(self, now: float = 0.0) -> None:
         self._inner.reset(now)
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: the inner estimator plus the drop count.
+
+        The injection *coins* live in the plan's RNG streams and are
+        captured by :meth:`FaultPlan.state_dict`.
+        """
+        return {
+            "kind": "faulty",
+            "dropped": self.dropped,
+            "inner": self._inner.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        if state.get("kind") != "faulty":
+            raise ParameterError(
+                f"estimator state kind {state.get('kind')!r} is not 'faulty'"
+            )
+        self.dropped = int(state["dropped"])
+        self._inner.load_state(state["inner"])
+
 
 def health_control_events(
     specs, runtime, *, horizon: float
@@ -270,3 +292,26 @@ class FaultPlan:
         )
         self.health_timeline = timeline
         return events
+
+    @property
+    def crash_specs(self) -> tuple[FaultSpec, ...]:
+        """Control-plane ``crash`` point events in this plan's schedule."""
+        return self.schedule.of_kinds(CRASH_FAULT_KINDS)
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the injection RNG streams.
+
+        Coins drawn before a crash advance these generators; restoring
+        them before journal replay makes every replayed injection
+        decision (solver coin, dropout coin, noise draw) bit-identical
+        to the run that crashed.
+        """
+        return {
+            "solver_rng": generator_state(self._solver_rng),
+            "estimator_rng": generator_state(self._estimator_rng),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        set_generator_state(self._solver_rng, state["solver_rng"])
+        set_generator_state(self._estimator_rng, state["estimator_rng"])

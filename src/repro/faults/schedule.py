@@ -43,6 +43,13 @@ Fault kinds
     ``end`` — rack/switch-level correlated failure.  Listing all
     servers produces a dark cluster and exercises the
     :class:`~repro.core.exceptions.ClusterDownError` shed-all path.
+``crash``
+    The control plane itself is hard-killed at ``start`` (a *point*
+    event: ``end == start`` is allowed) and rebuilt from its durable
+    state — latest checkpoint plus journal-tail replay — while the data
+    plane (the DES engine, its queues, and its RNG streams) keeps
+    running.  Requires ``RuntimeConfig.recovery`` to be enabled; see
+    :mod:`repro.recovery`.
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ __all__ = [
     "SOLVER_FAULT_KINDS",
     "ESTIMATOR_FAULT_KINDS",
     "HEALTH_FAULT_KINDS",
+    "CRASH_FAULT_KINDS",
     "FAULT_KINDS",
     "FaultSpec",
     "FaultSchedule",
@@ -70,7 +78,10 @@ ESTIMATOR_FAULT_KINDS = frozenset(
     {"estimator-noise", "estimator-bias", "estimator-dropout"}
 )
 HEALTH_FAULT_KINDS = frozenset({"server-down", "server-flap", "correlated-outage"})
-FAULT_KINDS = SOLVER_FAULT_KINDS | ESTIMATOR_FAULT_KINDS | HEALTH_FAULT_KINDS
+CRASH_FAULT_KINDS = frozenset({"crash"})
+FAULT_KINDS = (
+    SOLVER_FAULT_KINDS | ESTIMATOR_FAULT_KINDS | HEALTH_FAULT_KINDS | CRASH_FAULT_KINDS
+)
 
 
 @dataclass(frozen=True)
@@ -98,13 +109,16 @@ class FaultSpec:
             raise ParameterError(
                 f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}"
             )
+        point_event = self.kind in CRASH_FAULT_KINDS
         if not (
             math.isfinite(self.start)
             and math.isfinite(self.end)
-            and 0.0 <= self.start < self.end
+            and 0.0 <= self.start
+            and (self.start <= self.end if point_event else self.start < self.end)
         ):
+            shape = "start <= end" if point_event else "start < end"
             raise ParameterError(
-                f"need finite 0 <= start < end, got [{self.start!r}, {self.end!r})"
+                f"need finite 0 <= {shape}, got [{self.start!r}, {self.end!r})"
             )
         p = self.params
         prob = p.get("p", 1.0)
@@ -229,6 +243,7 @@ def random_fault_schedule(
     quiet_tail: float = 0.35,
     max_faults: int = 5,
     allow_cluster_down: bool = True,
+    allow_crash: bool = False,
 ) -> FaultSchedule:
     """Draw a randomized-but-reproducible chaos schedule.
 
@@ -253,6 +268,11 @@ def random_fault_schedule(
         Upper bound on the number of windows (at least 2 are drawn).
     allow_cluster_down:
         Whether a full-cluster correlated outage may be drawn.
+    allow_crash:
+        Whether to add one control-plane ``crash`` point event (drawn
+        *after* the regular windows, so enabling it never perturbs the
+        base schedule an existing seed produces).  Crash runs require
+        recovery to be enabled on the runtime config.
     """
     if n_servers < 1:
         raise ParameterError(f"n_servers must be >= 1, got {n_servers}")
@@ -319,4 +339,9 @@ def random_fault_schedule(
             # outage short so queues drain well inside the run.
             end = min(start + 0.08 * fault_end, fault_end)
         specs.append(FaultSpec(kind=kind, start=start, end=end, params=params))
+    if allow_crash:
+        # Drawn last so the base schedule above is byte-identical with
+        # allow_crash=False — existing seeded chaos runs stay pinned.
+        t_crash = float(rng.uniform(0.15, 0.85) * fault_end)
+        specs.append(FaultSpec(kind="crash", start=t_crash, end=t_crash))
     return FaultSchedule(specs, seed=seed)

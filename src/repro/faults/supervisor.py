@@ -59,6 +59,13 @@ __all__ = [
 ]
 
 
+def _deep_tuple(value):
+    """Recursively convert lists back into tuples (JSON inverse)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_tuple(v) for v in value)
+    return value
+
+
 def _breaker_transition(to: str) -> None:
     """Record a circuit-breaker state change when observability is on."""
     o = get_obs()
@@ -243,6 +250,14 @@ class ResilienceSupervisor:
         self._open_until: float | None = None  # not None = breaker open
         self._last_good: _PinnedSplit | None = None
         self.metrics.circuit_state = "closed"
+        #: Optional callback ``(now, to_state)`` invoked at every breaker
+        #: transition (open / closed / half-open).  The recovery layer
+        #: hooks this to journal transitions in the write-ahead log.
+        self.transition_listener = None
+
+    def _notify_transition(self, now: float, to: str) -> None:
+        if self.transition_listener is not None:
+            self.transition_listener(now, to)
 
     # -- incident plumbing -------------------------------------------------------------
 
@@ -365,6 +380,7 @@ class ResilienceSupervisor:
         self.metrics.counters.circuit_opens += 1
         self.metrics.circuit_state = "open"
         _breaker_transition("open")
+        self._notify_transition(now, "open")
         self._incident(
             now,
             "circuit-open",
@@ -382,7 +398,64 @@ class ResilienceSupervisor:
         self.metrics.counters.circuit_closes += 1
         self.metrics.circuit_state = "closed"
         _breaker_transition("closed")
+        self._notify_transition(now, "closed")
         self._incident(now, "circuit-close", "info", "half-open probe succeeded")
+
+    # -- durable state -----------------------------------------------------------------
+
+    def state_dict(self, encode_result) -> dict:
+        """Snapshot the breaker and the pinned last-known-good split.
+
+        ``encode_result`` serializes a
+        :class:`~repro.core.result.LoadDistributionResult` to a
+        JSON-safe dict (owned by the checkpoint codec).  The circuit
+        *gauge* string lives in ``metrics.circuit_state`` and travels
+        with the metrics snapshot.
+        """
+        pin = self._last_good
+        return {
+            "consecutive_primary_failures": self._consecutive_primary_failures,
+            "primary_blocked_until": self._primary_blocked_until,
+            "open_until": self._open_until,
+            "last_good": None
+            if pin is None
+            else {
+                "weights": [float(w) for w in pin.weights],
+                "result": None if pin.result is None else encode_result(pin.result),
+                "shed_fraction": pin.shed_fraction,
+                "solved_rate": pin.solved_rate,
+                "fingerprint": pin.fingerprint,
+                "pinned_at": pin.pinned_at,
+            },
+        }
+
+    def load_state(self, state: dict, decode_result) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        A restored *open* breaker keeps serving the restored pin until
+        its original cooldown deadline — a controller crash must not
+        reset the cooldown and hammer a solver that was failing moments
+        before the crash.
+        """
+        self._consecutive_primary_failures = int(
+            state["consecutive_primary_failures"]
+        )
+        self._primary_blocked_until = float(state["primary_blocked_until"])
+        until = state["open_until"]
+        self._open_until = None if until is None else float(until)
+        pin = state["last_good"]
+        if pin is None:
+            self._last_good = None
+        else:
+            result = pin["result"]
+            self._last_good = _PinnedSplit(
+                weights=np.asarray(pin["weights"], dtype=float),
+                result=None if result is None else decode_result(result),
+                shed_fraction=float(pin["shed_fraction"]),
+                solved_rate=float(pin["solved_rate"]),
+                fingerprint=_deep_tuple(pin["fingerprint"]),
+                pinned_at=float(pin["pinned_at"]),
+            )
 
     # -- the decision ------------------------------------------------------------------
 
@@ -432,6 +505,7 @@ class ResilienceSupervisor:
             probing = True
             self.metrics.circuit_state = "half-open"
             _breaker_transition("half-open")
+            self._notify_transition(now, "half-open")
 
         failures: list[str] = []
         outcome = self._attempt_chain(now, offered_rate, failures, probing)

@@ -430,6 +430,43 @@ class MetricsRegistry:
         """Drop every family (tests and between-run isolation)."""
         self._families.clear()
 
+    def restore_snapshot(self, families: list[dict]) -> None:
+        """Load a :meth:`collect` snapshot back into this registry.
+
+        Families present in the snapshot are created if missing (for
+        histograms the recorded edges fix the bucket layout) and every
+        recorded series overwrites the matching child's state.  Families
+        already registered but absent from the snapshot are left alone —
+        a restore happens into a freshly built runtime whose accumulators
+        pre-register their families at construction.
+        """
+        for fam_snap in families:
+            name = fam_snap["name"]
+            kind = fam_snap["kind"]
+            labels = tuple(fam_snap.get("labels", ()))
+            kwargs = {}
+            if kind == "histogram":
+                series = fam_snap.get("series", [])
+                if series:
+                    kwargs["edges"] = tuple(series[0]["edges"])
+            family = self._get_or_create(
+                name, kind, fam_snap.get("help", ""), labels, **kwargs
+            )
+            for sample in fam_snap.get("series", []):
+                label_values = sample.get("labels", {})
+                child = family.labels(**label_values) if labels else family.child
+                if kind == "histogram":
+                    if tuple(sample["edges"]) != tuple(child.edges):
+                        raise ObsError(
+                            f"histogram {name!r} bucket layout changed; "
+                            "cannot restore snapshot"
+                        )
+                    child._counts = [int(c) for c in sample["buckets"]]
+                    child._sum = float(sample["sum"])
+                    child._count = int(sample["count"])
+                else:
+                    child._value = float(sample["value"])
+
 
 class NullMetric:
     """Inert metric: every recording call is a no-op, ``value`` is 0.
@@ -491,6 +528,9 @@ class NullRegistry(MetricsRegistry):
 
     def collect(self) -> list[dict]:
         return []
+
+    def restore_snapshot(self, families: list[dict]) -> None:  # noqa: ARG002
+        """No-op: a null registry holds no state to restore into."""
 
 
 NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,62 @@
+"""Durable control-plane state: journal, checkpoints, crash recovery.
+
+Three layers:
+
+* :mod:`repro.recovery.journal` — the write-ahead decision journal
+  (CRC-framed JSONL, torn-tail detection) and the atomic-write helpers
+  every artifact writer in the repo uses;
+* :mod:`repro.recovery.checkpoint` — schema-versioned full-state
+  checkpoints (:class:`CheckpointCodec`) on a decision cadence
+  (:class:`RecoveryManager`), configured by :class:`RecoveryConfig`;
+* :mod:`repro.recovery.resume` — deterministic restore: latest valid
+  checkpoint + journal-tail replay (:func:`restore_runtime`).
+
+``resume`` is re-exported lazily: it imports the runtime loop, which
+itself imports this package for :class:`RecoveryConfig`, and an eager
+import here would close that cycle during interpreter start-up.
+"""
+
+from __future__ import annotations
+
+from .checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointCodec,
+    RecoveryConfig,
+    RecoveryManager,
+    list_checkpoints,
+)
+from .journal import (
+    JOURNAL_NAME,
+    JournalRecord,
+    JournalWriter,
+    atomic_write_json,
+    atomic_write_text,
+    read_journal,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RecoveryConfig",
+    "CheckpointCodec",
+    "RecoveryManager",
+    "list_checkpoints",
+    "JOURNAL_NAME",
+    "JournalRecord",
+    "JournalWriter",
+    "read_journal",
+    "atomic_write_json",
+    "atomic_write_text",
+    "RestoreReport",
+    "load_latest_checkpoint",
+    "restore_runtime",
+]
+
+_LAZY = {"RestoreReport", "load_latest_checkpoint", "restore_runtime"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import resume
+
+        return getattr(resume, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -269,3 +269,44 @@ class ResolveController:
             return True
         tv = 0.5 * float(np.abs(new_weights - current_weights).sum())
         return tv >= self.hysteresis
+
+    def state_dict(self, encode_result) -> dict:
+        """Snapshot the warm-start anchor and the LRU cache.
+
+        ``encode_result`` maps a :class:`LoadDistributionResult` to a
+        JSON-safe dict (the checkpoint codec owns result serialization
+        so this module stays persistence-agnostic).  Cache entries are
+        emitted in LRU order — oldest first — so a restore reproduces
+        the exact eviction order.
+        """
+        return {
+            "phi_hint": self._phi_hint,
+            "phi_fingerprint": self._phi_fingerprint,
+            "cache": [
+                [list(key), encode_result(result)]
+                for key, result in self._cache.items()
+            ],
+        }
+
+    def load_state(self, state: dict, decode_result) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        Keys arrive as (possibly nested) lists after a JSON round trip;
+        they are re-tuplified here so lookups against freshly computed
+        ``(fingerprint, rate, discipline, backend)`` keys hit.
+        """
+        hint = state["phi_hint"]
+        self._phi_hint = None if hint is None else float(hint)
+        fp = state["phi_fingerprint"]
+        self._phi_fingerprint = None if fp is None else _deep_tuple(fp)
+        self._cache = OrderedDict(
+            (_deep_tuple(key), decode_result(encoded))
+            for key, encoded in state["cache"]
+        )
+
+
+def _deep_tuple(value):
+    """Recursively convert lists back into tuples (JSON inverse)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_deep_tuple(v) for v in value)
+    return value

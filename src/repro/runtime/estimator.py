@@ -145,6 +145,25 @@ class EwmaRateEstimator(RateEstimator):
             return 0.0
         return mass / fill
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the decayed-mass accumulator."""
+        return {
+            "kind": "ewma",
+            "t0": self._t0,
+            "last": self._last,
+            "mass": self._mass,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (lossless)."""
+        if state.get("kind") != "ewma":
+            raise ParameterError(
+                f"estimator state kind {state.get('kind')!r} is not 'ewma'"
+            )
+        self._t0 = float(state["t0"])
+        self._last = float(state["last"])
+        self._mass = float(state["mass"])
+
 
 class SlidingWindowRateEstimator(RateEstimator):
     """Arrivals-in-the-last-``window`` estimator.
@@ -216,6 +235,25 @@ class SlidingWindowRateEstimator(RateEstimator):
         w = elapsed / self._window
         return (1.0 - w) * self._prior + w * rate
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: clock anchors plus the retained timestamps."""
+        return {
+            "kind": "window",
+            "t0": self._t0,
+            "last": self._last,
+            "times": list(self._times),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (lossless)."""
+        if state.get("kind") != "window":
+            raise ParameterError(
+                f"estimator state kind {state.get('kind')!r} is not 'window'"
+            )
+        self._t0 = float(state["t0"])
+        self._last = float(state["last"])
+        self._times = deque(float(t) for t in state["times"])
+
 
 class DriftDetector:
     """Relative-change drift trigger with a minimum dwell time.
@@ -265,3 +303,13 @@ class DriftDetector:
             return False
         deviation = abs(estimate - self._reference) / self._reference
         return deviation > self.threshold
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (``-Infinity`` round-trips in Python JSON)."""
+        return {"reference": self._reference, "last_trigger": self._last_trigger}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        ref = state["reference"]
+        self._reference = None if ref is None else float(ref)
+        self._last_trigger = float(state["last_trigger"])

@@ -152,6 +152,20 @@ class HealthTracker:
                 rbar=self._group.rbar,
             )
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the up/down vector."""
+        return {"up": list(self._up)}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (rebuilds the subgroup)."""
+        up = [bool(u) for u in state["up"]]
+        if len(up) != self._group.n:
+            raise ParameterError(
+                f"health state covers {len(up)} servers, group has {self._group.n}"
+            )
+        self._up = up
+        self._rebuild()
+
     # -- solver-facing views ------------------------------------------------------------
 
     @property

@@ -32,6 +32,7 @@ from ..core.response import Discipline
 from ..core.result import LoadDistributionResult
 from ..core.server import BladeServerGroup
 from ..obs import ConfigBase, ObsConfig, ProfileReport, configure, get_obs
+from ..recovery.checkpoint import RecoveryConfig, RecoveryManager
 from ..sim.arrivals import TracedPoissonArrivals
 from ..sim.engine import GroupSimulation, SimulationConfig, SimulationResult
 from ..sim.rng import StreamFactory
@@ -47,6 +48,7 @@ __all__ = [
     "RuntimeConfig",
     "ResolveEvent",
     "LoadDistributionRuntime",
+    "RuntimeHandle",
     "ClosedLoopResult",
     "run_closed_loop",
 ]
@@ -127,6 +129,13 @@ class RuntimeConfig(ConfigBase):
         supervisor fallback metrics, and simulator event counters all
         record for the run.  Off by default: every instrumented site
         degrades to a no-op.
+    recovery:
+        Durability knob (see :class:`repro.recovery.RecoveryConfig`).
+        When ``recovery.enabled`` the runtime write-ahead journals
+        every decision and checkpoints its full state on a decision
+        cadence, so :func:`repro.recovery.restore_runtime` can rebuild
+        it deterministically after a crash.  Off by default: zero
+        per-arrival cost.
     """
 
     discipline: Discipline | str = Discipline.FCFS
@@ -153,6 +162,7 @@ class RuntimeConfig(ConfigBase):
     rho_cap: float = 0.995
     time_tolerance: float = 1e-6
     obs: ObsConfig = ObsConfig()
+    recovery: RecoveryConfig = RecoveryConfig()
 
 
 @dataclass(frozen=True)
@@ -204,9 +214,12 @@ class LoadDistributionRuntime:
         initial_rate: float,
         config: RuntimeConfig = RuntimeConfig(),
         fault_plan=None,
+        _restore: bool = False,
     ) -> None:
         self.config = config
         self._now = 0.0
+        self._fault_plan = fault_plan
+        self._recovery: RecoveryManager | None = None
         if config.obs.enabled:
             configure(config.obs)
         # Cached once: route() runs on every arrival, and the global
@@ -284,7 +297,21 @@ class LoadDistributionRuntime:
         self._weights: np.ndarray | None = None
         self._result: LoadDistributionResult | None = None
         self._router = None
-        self._resolve(0.0, initial_rate, reason="initial", force=True)
+        if not _restore:
+            # A restore skips the initial resolve — the checkpoint codec
+            # loads the persisted state instead — and attaches its own
+            # journal-resuming manager afterwards.
+            self._resolve(0.0, initial_rate, reason="initial", force=True)
+            if config.recovery.enabled:
+                # The bootstrap checkpoint covers the initial resolve,
+                # so replay never has to reconstruct pre-journal history.
+                self._attach_recovery(RecoveryManager.create(self, config.recovery))
+
+    def _attach_recovery(self, manager: RecoveryManager) -> None:
+        """Start journaling through ``manager`` (construction or restore)."""
+        self._recovery = manager
+        if self.supervisor is not None:
+            self.supervisor.transition_listener = manager.record_breaker
 
     # -- state views ------------------------------------------------------------------
 
@@ -372,37 +399,48 @@ class LoadDistributionRuntime:
         # made, so small residual deviation is no longer "drift".
         self.drift.rearm(now, offered_rate)
         self._last_resolve = now
-        self.resolve_log.append(
-            ResolveEvent(
-                time=now,
-                reason=reason,
-                offered_rate=offered_rate,
-                solved_rate=solved_rate,
-                shed_fraction=shed,
-                cache_hit=cache_hit,
-                adopted=adopt,
-                source=source,
-                depth=depth,
-            )
+        event = ResolveEvent(
+            time=now,
+            reason=reason,
+            offered_rate=offered_rate,
+            solved_rate=solved_rate,
+            shed_fraction=shed,
+            cache_hit=cache_hit,
+            adopted=adopt,
+            source=source,
+            depth=depth,
         )
+        self.resolve_log.append(event)
+        if self._recovery is not None:
+            self._recovery.record_resolve(now, event)
 
     def server_down(self, index: int, now: float) -> None:
         """Handle a server failure: drain routing, re-solve immediately."""
         self._now = now
+        if self._recovery is not None:
+            # Write-ahead: the signal is journaled before it is acted
+            # on, so replay re-delivers it to the restored state.
+            self._recovery.record_health(now, index, "down")
         if self.health.mark_down(index):
             self.metrics.counters.failures += 1
             self._resolve(
                 now, self._offered_estimate(now), reason="failure", force=True
             )
+        if self._recovery is not None:
+            self._recovery.safe_point()
 
     def server_up(self, index: int, now: float) -> None:
         """Handle a server recovery: restore capacity, re-solve."""
         self._now = now
+        if self._recovery is not None:
+            self._recovery.record_health(now, index, "up")
         if self.health.mark_up(index):
             self.metrics.counters.recoveries += 1
             self._resolve(
                 now, self._offered_estimate(now), reason="recovery", force=True
             )
+        if self._recovery is not None:
+            self._recovery.safe_point()
 
     def _offered_estimate(self, now: float) -> float:
         est = self.estimator.estimate(now)
@@ -443,16 +481,41 @@ class LoadDistributionRuntime:
     def _route(self) -> int:
         if self._shed_fraction > 0.0 and self._shed_rng.random() < self._shed_fraction:
             self.metrics.counters.shed += 1
-            return -1
-        dest = self._router.pick()
-        self.metrics.counters.routed += 1
-        self.metrics.routed.record(dest)
+            dest = -1
+        else:
+            dest = self._router.pick()
+            self.metrics.counters.routed += 1
+            self.metrics.routed.record(dest)
+        if self._recovery is not None:
+            self._recovery.record_route(self._now, dest)
         return dest
 
     def observe_completion(self, task: SimTask, now: float) -> None:
         """Completion listener: generic response times into the metrics."""
         if task.task_class is TaskClass.GENERIC:
             self.metrics.on_response(task.response_time)
+
+
+class RuntimeHandle:
+    """Mutable indirection to the live runtime across crash-swaps.
+
+    Scheduled control closures (failure schedules, fault-plan health
+    events) are compiled once, before the run starts, but a crash fault
+    replaces the runtime object mid-run.  Routing those closures through
+    a handle means they always reach the *current* control plane; the
+    handle also collects the :class:`~repro.recovery.resume.RestoreReport`
+    of every recovery performed during the run.
+    """
+
+    def __init__(self, runtime: LoadDistributionRuntime) -> None:
+        self.current = runtime
+        self.restores: list = []
+
+    def server_down(self, index: int, now: float) -> None:
+        self.current.server_down(index, now)
+
+    def server_up(self, index: int, now: float) -> None:
+        self.current.server_up(index, now)
 
 
 @dataclass(frozen=True)
@@ -471,6 +534,9 @@ class ClosedLoopResult:
     #: The cProfile report of the simulation loop, when the run was
     #: executed with ``ObsConfig(profile=True)``; ``None`` otherwise.
     profile: ProfileReport | None = None
+    #: One :class:`~repro.recovery.resume.RestoreReport` per crash
+    #: recovery performed during the run (empty without crash faults).
+    restores: tuple = field(default=())
 
     @property
     def metrics(self) -> RuntimeMetrics:
@@ -519,16 +585,27 @@ def run_closed_loop(
     runtime = LoadDistributionRuntime(
         group, trace.initial_rate, config, fault_plan=fault_plan
     )
+    handle = RuntimeHandle(runtime)
     controls = []
     for t, index, kind in failures:
         if kind == "down":
-            controls.append((t, _down_action(runtime, index)))
+            controls.append((t, _down_action(handle, index)))
         elif kind == "up":
-            controls.append((t, _up_action(runtime, index)))
+            controls.append((t, _up_action(handle, index)))
         else:
             raise ParameterError(f"failure kind must be 'down' or 'up', got {kind!r}")
     if fault_plan is not None:
-        controls.extend(fault_plan.health_controls(runtime, horizon))
+        controls.extend(fault_plan.health_controls(handle, horizon))
+        crash_specs = fault_plan.crash_specs
+        if crash_specs and not config.recovery.enabled:
+            raise ParameterError(
+                "crash faults require RuntimeConfig.recovery.enabled "
+                "(there is nothing to restore from otherwise)"
+            )
+        for spec in crash_specs:
+            controls.append(
+                (spec.start, _crash_action(handle, group, config, trace, fault_plan))
+            )
     sim_config = SimulationConfig(
         total_generic_rate=trace.initial_rate,
         fractions=tuple(runtime.current_weights),
@@ -549,24 +626,58 @@ def run_closed_loop(
     )
     with runtime._obs.profile() as prof:
         result = sim.run()
+    final = handle.current
+    if final._recovery is not None:
+        final._recovery.finalize()
     return ClosedLoopResult(
         sim=result,
-        runtime=runtime,
+        runtime=final,
         trace=trace,
         failures=tuple(failures),
         profile=prof if prof.enabled else None,
+        restores=tuple(handle.restores),
     )
 
 
-def _down_action(runtime: LoadDistributionRuntime, index: int):
+def _down_action(handle: RuntimeHandle, index: int):
     def action(sim, now: float) -> None:
-        runtime.server_down(index, now)
+        handle.server_down(index, now)
 
     return action
 
 
-def _up_action(runtime: LoadDistributionRuntime, index: int):
+def _up_action(handle: RuntimeHandle, index: int):
     def action(sim, now: float) -> None:
-        runtime.server_up(index, now)
+        handle.server_up(index, now)
+
+    return action
+
+
+def _crash_action(handle: RuntimeHandle, group, config, trace, fault_plan):
+    """Control action realizing a ``crash`` fault: hard-kill the control
+    plane, rebuild it from disk, splice it into the running engine.
+
+    The data plane survives (queues, in-flight tasks, every engine RNG
+    stream); only the dispatcher object dies.  ``abandon()`` models the
+    kill faithfully — the journal is left exactly as the flushed appends
+    put it, with no farewell checkpoint.
+    """
+
+    def action(sim, now: float) -> None:
+        from ..recovery.resume import restore_runtime
+
+        crashed = handle.current
+        if crashed._recovery is not None:
+            crashed._recovery.abandon()
+        runtime, report = restore_runtime(
+            group, config, initial_rate=trace.initial_rate, fault_plan=fault_plan
+        )
+        sim.swap_dispatcher(
+            runtime,
+            arrival_listener=runtime.observe_arrival,
+            completion_listener=runtime.observe_completion,
+        )
+        handle.current = runtime
+        handle.restores.append(report)
 
     return action

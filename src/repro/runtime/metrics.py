@@ -110,6 +110,20 @@ class LogHistogram:
         """Record one observation."""
         self.counts[int(np.searchsorted(self.edges, value, side="right"))] += 1
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot (edges carried for layout verification)."""
+        return {
+            "edges": [float(e) for e in self.edges],
+            "counts": [int(c) for c in self.counts],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into a same-layout histogram."""
+        edges = np.asarray(state["edges"], dtype=float)
+        if edges.shape != self.edges.shape or not np.array_equal(edges, self.edges):
+            raise ParameterError("histogram bin layout changed; cannot restore")
+        self.counts = np.asarray(state["counts"], dtype=np.int64)
+
     def quantile(self, q: float) -> float:
         """Approximate quantile from the bin counts.
 
@@ -168,6 +182,23 @@ class RateGauges:
         self._window_start = now
         self._window_counts = np.zeros_like(self._window_counts)
         return rates
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of cumulative and window counts."""
+        return {
+            "counts": [int(c) for c in self.counts],
+            "window_start": self._window_start,
+            "window_counts": [int(c) for c in self._window_counts],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != self.counts.shape:
+            raise ParameterError("routed-gauge server count changed; cannot restore")
+        self.counts = counts
+        self._window_start = float(state["window_start"])
+        self._window_counts = np.asarray(state["window_counts"], dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -272,6 +303,15 @@ class IncidentLog:
     def of_kind(self, kind: str) -> tuple[IncidentRecord, ...]:
         """The retained records of one kind, oldest first."""
         return tuple(r for r in self._records if r.kind == kind)
+
+    def load_records(self, records: list[dict]) -> None:
+        """Replace the retained records from their dict forms.
+
+        Per-kind totals live in the backing registry counter and are
+        restored separately via the registry snapshot, so this touches
+        only the bounded record list.
+        """
+        self._records = [IncidentRecord(**r) for r in records[-self._capacity :]]
 
 
 class FallbackDepthCounters:
@@ -445,6 +485,41 @@ class RuntimeMetrics:
         """Record one completed generic task's response time."""
         self.response_time.add(response_time)
         self.response_histogram.add(response_time)
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the full metric set (lossless)."""
+        from dataclasses import asdict
+
+        return {
+            "counters": asdict(self.counters),
+            "routed": self.routed.state_dict(),
+            "resolve_latency": self.resolve_latency.state_dict(),
+            "response_time": self.response_time.state_dict(),
+            "response_histogram": self.response_histogram.state_dict(),
+            "incidents": [r.to_dict() for r in self.incidents.records],
+            "shed_since": self.shed.since,
+            "circuit_state": self.circuit_state,
+            "registry": self.registry.collect(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        The registry snapshot is restored first so the incident /
+        fallback / shed totals (registry-backed counters and gauges)
+        land before the plain accumulators are overwritten.
+        """
+        self.registry.restore_snapshot(state["registry"])
+        counters = state["counters"]
+        for name in counters:
+            setattr(self.counters, name, int(counters[name]))
+        self.routed.load_state(state["routed"])
+        self.resolve_latency.load_state(state["resolve_latency"])
+        self.response_time.load_state(state["response_time"])
+        self.response_histogram.load_state(state["response_histogram"])
+        self.incidents.load_records(state["incidents"])
+        self.shed.since = float(state["shed_since"])
+        self.circuit_state = str(state["circuit_state"])
 
     @property
     def shed_fraction_observed(self) -> float:

@@ -97,6 +97,26 @@ class SmoothWeightedRoundRobinRouter:
         self._credit[dest] -= 1.0
         return dest
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: weights plus the *live* credit vector.
+
+        ``set_weights`` deliberately clears credits, so a restore must
+        bypass it — the mid-cycle credits are what make the resumed
+        deterministic rotation pick up exactly where it stopped.
+        """
+        return {
+            "backend": "swrr",
+            "weights": [float(w) for w in self._weights],
+            "credit": [float(c) for c in self._credit],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self._weights = _normalize(state["weights"], None)
+        self._credit = np.asarray(state["credit"], dtype=float)
+        if self._credit.shape != self._weights.shape:
+            raise ParameterError("credit vector does not match weights")
+
 
 class AliasTableRouter:
     """Walker alias-method sampler over the weight vector.
@@ -142,6 +162,20 @@ class AliasTableRouter:
         if self._rng.random() < self._prob[k]:
             return k
         return int(self._alias[k])
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: the weights alone suffice.
+
+        ``_build`` is deterministic in the weights, and the sampling
+        generator is owned (and checkpointed) by the runtime, so the
+        prob/alias tables are rebuilt rather than persisted.
+        """
+        return {"backend": "alias", "weights": [float(w) for w in self._weights]}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (rebuilds the table)."""
+        self._weights = _normalize(state["weights"], None)
+        self._build()
 
 
 def make_router(

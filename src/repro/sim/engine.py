@@ -254,6 +254,56 @@ class GroupSimulation:
         if time < self.config.horizon:
             self._events.schedule(time, EventType.CONTROL, payload=action)
 
+    def swap_dispatcher(
+        self,
+        dispatcher: Dispatcher,
+        *,
+        arrival_listener=None,
+        completion_listener=None,
+    ) -> None:
+        """Replace the dispatcher (and optionally its listeners) live.
+
+        The event loop reads ``self._dispatcher`` and the listeners on
+        every event, so the swap takes effect at the very next arrival.
+        This is the crash-recovery boundary: a rebuilt control plane
+        takes over routing while the data plane — queues, in-flight
+        tasks, and every engine RNG stream — continues untouched.
+        """
+        self._dispatcher = dispatcher
+        if arrival_listener is not None:
+            self._arrival_listener = arrival_listener
+        if completion_listener is not None:
+            self._completion_listener = completion_listener
+
+    def capture_rng_state(self) -> dict:
+        """JSON-safe snapshot of every engine random stream.
+
+        Covers the stream factory (named streams plus spawn position)
+        and the anonymous per-server special-arrival generators.
+        Restoring via :meth:`restore_rng_state` makes subsequent
+        arrival/service draws bit-identical to the captured run.
+        """
+        from .rng import generator_state
+
+        return {
+            "streams": self._streams.state_dict(),
+            "special": [generator_state(g) for g in self._special_rngs],
+        }
+
+    def restore_rng_state(self, state: dict) -> None:
+        """Restore a :meth:`capture_rng_state` snapshot in place."""
+        from .rng import set_generator_state
+
+        self._streams.load_state(state["streams"])
+        special = state["special"]
+        if len(special) != len(self._special_rngs):
+            raise ParameterError(
+                f"snapshot covers {len(special)} special streams, "
+                f"engine has {len(self._special_rngs)}"
+            )
+        for gen, gen_state in zip(self._special_rngs, special):
+            set_generator_state(gen, gen_state)
+
     # -- task creation ------------------------------------------------------------
 
     def _new_task(self, cls: TaskClass, server_index: int, now: float) -> SimTask:

@@ -16,7 +16,32 @@ import numpy as np
 
 from ..core.exceptions import ParameterError
 
-__all__ = ["StreamFactory", "exponential"]
+__all__ = [
+    "StreamFactory",
+    "exponential",
+    "generator_state",
+    "set_generator_state",
+]
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """JSON-safe snapshot of a generator's bit-generator state.
+
+    PCG64 (numpy's default) exposes its state as a dict of plain Python
+    ints and strings, which round-trips losslessly through JSON; after
+    :func:`set_generator_state` the generator draws the bit-identical
+    continuation of the stream.
+    """
+    return rng.bit_generator.state
+
+
+def set_generator_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a snapshot taken by :func:`generator_state`.
+
+    JSON round-trips turn nested tuples into lists; numpy's state
+    setters accept the dict form directly, so no conversion is needed.
+    """
+    rng.bit_generator.state = state
 
 
 class StreamFactory:
@@ -70,6 +95,46 @@ class StreamFactory:
         children = self._seed_seq.spawn(k)
         self._count += k
         return [np.random.default_rng(c) for c in children]
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot: spawn position plus every named stream.
+
+        Anonymous generators handed out by :meth:`spawn` are owned by
+        the caller and must be captured by the caller (see
+        ``GroupSimulation.capture_rng_state``); the factory records the
+        spawn *position* so future spawns continue the same sequence.
+        """
+        entropy = self._seed_seq.entropy
+        return {
+            "entropy": entropy if isinstance(entropy, int) else list(entropy),
+            "spawn_key": list(self._seed_seq.spawn_key),
+            "children_spawned": int(self._seed_seq.n_children_spawned),
+            "count": self._count,
+            "named": {
+                name: generator_state(gen) for name, gen in self._named.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        Named streams already handed out keep their identity — their
+        bit-generator state is overwritten in place, so components
+        holding references continue drawing the restored sequence.
+        """
+        entropy = state["entropy"]
+        self._seed_seq = np.random.SeedSequence(
+            entropy if isinstance(entropy, int) else tuple(entropy),
+            spawn_key=tuple(state.get("spawn_key", ())),
+            n_children_spawned=state["children_spawned"],
+        )
+        self._count = state["count"]
+        for name, gen_state in state["named"].items():
+            gen = self._named.get(name)
+            if gen is None:
+                gen = np.random.Generator(np.random.PCG64())
+                self._named[name] = gen
+            set_generator_state(gen, gen_state)
 
 
 def exponential(rng: np.random.Generator, mean: float) -> float:

@@ -92,6 +92,24 @@ class RunningStats:
         self._min = min(self._min, other._min)
         self._max = max(self._max, other._max)
 
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the accumulator (lossless round trip)."""
+        return {
+            "n": self._n,
+            "mean": self._mean,
+            "m2": self._m2,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self._n = int(state["n"])
+        self._mean = float(state["mean"])
+        self._m2 = float(state["m2"])
+        self._min = float(state["min"])
+        self._max = float(state["max"])
+
     @property
     def count(self) -> int:
         return self._n

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Benchmark-regression gate: diff fresh solver timings against the
+committed ``BENCH_solver_scaling.json``.
+
+The committed file is the measured perf trajectory of record (written
+by ``benchmarks/bench_solver_scaling.py::test_newton_trajectory_json``
+through ``benchmarks/trajectory.py``).  Raw latencies are machine-
+dependent, so this gate never compares seconds across runs.  It checks
+the two things that are stable:
+
+* **iteration counts** — deterministic per (backend, n); a fresh solve
+  needing more outer iterations than the committed trajectory means an
+  algorithmic regression, not a slow runner;
+* **speedup ratios** — computed within one run on one machine, so the
+  committed and fresh ratios are each internally consistent.  A fresh
+  ratio collapsing below ``RATIO_FLOOR`` times the committed one (or
+  below the ISSUE's absolute acceptance floors in full mode) fails.
+
+Usage::
+
+    python scripts/check_bench_regression.py           # full trajectory
+    python scripts/check_bench_regression.py --quick   # CI smoke sizes
+
+Exit status 0 on pass, 1 on regression, 2 when the committed baseline
+is missing (run the benchmark first and commit its JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Fresh speedup ratios may sag to this fraction of the committed ones
+#: before the gate fails (shared runners breathe; 3x collapses don't).
+RATIO_FLOOR = 0.34
+
+#: Iteration counts may exceed the committed baseline by this factor.
+ITER_CEILING = 1.5
+
+#: Absolute acceptance floors from the ISSUE, asserted in full mode.
+ABSOLUTE_FLOORS = {
+    "cold_kkt_over_newton@n=500": 10.0,
+    "warm_vectorized_over_newton@n=500": 5.0,
+}
+
+
+def load_baseline() -> dict:
+    path = os.path.join(REPO_ROOT, "BENCH_solver_scaling.json")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        print(f"no committed baseline at {path}", file=sys.stderr)
+        print(
+            "run: PYTHONPATH=src python -m pytest "
+            "benchmarks/bench_solver_scaling.py::test_newton_trajectory_json "
+            "-q  # then commit BENCH_solver_scaling.json",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+
+
+def measure(quick: bool) -> dict:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from trajectory import FULL_SIZES, QUICK_SIZES, measure_trajectory
+
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    return measure_trajectory(sizes=sizes, quick=quick)
+
+
+def compare(baseline: dict, fresh: dict, quick: bool) -> list[str]:
+    failures: list[str] = []
+    for key, entry in fresh["entries"].items():
+        base = baseline["entries"].get(key)
+        if base is None:
+            continue  # baseline from a different size set; nothing to diff
+        ceiling = ITER_CEILING * max(base["iterations"], 4)
+        if entry["iterations"] > ceiling:
+            failures.append(
+                f"{key}: {entry['iterations']} iterations vs committed "
+                f"{base['iterations']} (ceiling {ceiling:.0f})"
+            )
+    for key, ratio in fresh["speedups"].items():
+        base = baseline["speedups"].get(key)
+        if base is not None and ratio < RATIO_FLOOR * base:
+            failures.append(
+                f"{key}: {ratio:.1f}x vs committed {base:.1f}x "
+                f"(floor {RATIO_FLOOR * base:.1f}x)"
+            )
+    if not quick:
+        for key, floor in ABSOLUTE_FLOORS.items():
+            ratio = fresh["speedups"].get(key)
+            if ratio is not None and ratio < floor:
+                failures.append(
+                    f"{key}: {ratio:.1f}x below acceptance floor {floor:.1f}x"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="measure only the smoke sizes (CI runners; ratios still gated "
+        "relative to the committed baseline, absolute floors skipped)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline()
+    fresh = measure(quick=args.quick)
+
+    print(f"committed trajectory: sizes {baseline['sizes']}")
+    print(f"fresh measurement:    sizes {fresh['sizes']}")
+    for key in sorted(fresh["speedups"]):
+        base = baseline["speedups"].get(key)
+        base_txt = f"{base:.1f}x committed" if base is not None else "new"
+        print(f"  {key}: {fresh['speedups'][key]:.1f}x ({base_txt})")
+
+    failures = compare(baseline, fresh, quick=args.quick)
+    if failures:
+        print("\nREGRESSION:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno benchmark regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

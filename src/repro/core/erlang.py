@@ -55,6 +55,7 @@ __all__ = [
     "prob_queueing",
     "prob_queueing_direct",
     "dp_zero_drho",
+    "d2p_zero_drho2",
     "log_p_zero",
 ]
 
@@ -312,3 +313,66 @@ def dp_zero_drho(m: int, rho: float) -> float:
         tail = 1.0 / (1.0 - rho) ** 2
         s = 0.0
     return -p0 * p0 * (s + tail)
+
+
+def d2p_zero_drho2(m: int, rho: float) -> float:
+    """Analytic second derivative ``d^2 p_0 / d rho^2``.
+
+    With ``p_0 = 1/S(rho)`` and ``S`` the normalizing sum of the M/M/m
+    steady state, differentiating ``p_0' = -p_0^2 S'`` once more gives
+
+    .. math::
+
+        \\frac{\\partial^2 p_0}{\\partial \\rho^2}
+            = p_0^2 \\left( 2 p_0 (S')^2 - S'' \\right),
+        \\qquad
+        S'' = \\sum_{k=2}^{m-1} \\frac{m^k \\rho^{k-2}}{(k-2)!}
+            + \\frac{m^m}{m!} \\left[
+                \\frac{m(m-1)\\rho^{m-2}}{1-\\rho}
+              + \\frac{2\\rho^{m-1}(m-(m-1)\\rho)}{(1-\\rho)^3}
+              \\right].
+
+    (The tail uses ``d/d rho [rho^{m-1}(m-(m-1)rho)]
+    = m(m-1) rho^{m-2}(1-rho)``, which cancels one ``1-rho``.)  For
+    ``m = 1`` the empty-system probability is the linear ``1 - rho``,
+    so the second derivative is exactly zero.  Needed by the
+    damped-Newton backend, which takes second-order steps on the dual.
+    """
+    _check_m(m)
+    _check_rho(rho)
+    if m == 1:
+        return 0.0
+    p0 = p_zero(m, rho)
+    a = m * rho
+    # S' head and tail — same structure as :func:`dp_zero_drho`.
+    s1 = float(m)  # k = 1 term: m^1 rho^0 / 0!
+    u = float(m)
+    for k in range(2, m):
+        u *= a / (k - 1)
+        s1 += u
+    # S'' head: sum_{k=2}^{m-1} m^k rho^{k-2}/(k-2)!  (empty for m <= 2).
+    s2 = 0.0
+    if m >= 3:
+        v = float(m) * m  # k = 2 term: m^2 rho^0 / 0!
+        s2 = v
+        for k in range(3, m):
+            v *= a / (k - 2)
+            s2 += v
+    log_c = m * math.log(m) - math.lgamma(m + 1)
+    c = math.exp(log_c)
+    if rho > 0.0:
+        tail1 = (
+            c * rho ** (m - 1) * (m - (m - 1) * rho) / (1.0 - rho) ** 2
+        )
+        tail2 = c * (
+            m * (m - 1) * rho ** (m - 2) / (1.0 - rho)
+            + 2.0 * rho ** (m - 1) * (m - (m - 1) * rho) / (1.0 - rho) ** 3
+        )
+    else:
+        # rho -> 0: only the rho^{m-2} tail term survives, and only at
+        # m = 2 (where it equals m(m-1) c = m^2 - s2's missing head).
+        tail1 = 0.0
+        tail2 = c * m * (m - 1) if m == 2 else 0.0
+    sp = s1 + tail1
+    spp = s2 + tail2
+    return p0 * p0 * (2.0 * p0 * sp * sp - spp)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import brentq
 
+from .bisection import settle_residual
 from .exceptions import ConvergenceError, ParameterError
 from .objective import marginal_cost
 from .response import Discipline
@@ -172,16 +173,46 @@ def solve_kkt(
     else:
         raise ConvergenceError("solve_kkt could not bracket the multiplier")
 
-    phi = float(
-        brentq(excess, phi_lo * (1.0 - 1e-12), phi_hi, xtol=xtol, rtol=8.9e-16)
+    phi, outer = brentq(
+        excess,
+        phi_lo * (1.0 - 1e-12),
+        phi_hi,
+        xtol=xtol,
+        rtol=8.9e-16,
+        full_output=True,
     )
+    phi = float(phi)
+    # Doubling steps alone underreport the outer work by an order of
+    # magnitude; the Brent iterations are where the multiplier search
+    # actually converges, so they belong in the reported count (and in
+    # the repro_solve_iterations histogram fed from it).
+    iterations += int(outer.iterations)
     rates = rates_for(phi)
     resid = float(rates.sum()) - total_rate
     if abs(resid) > 1e-11 * max(total_rate, 1.0):
+        # Macroscopic residual: a numerically flat marginal made F(phi)
+        # jump across the root.  The repair interpolates the bracket
+        # endpoint vectors component-wise and meets the budget to
+        # roundoff while preserving marginal equalization — rescaling it
+        # afterwards would re-misprice exactly the steep servers the
+        # repair protected, so the repaired vector is returned as is.
         rates = _equalizing_repair(rates_for, phi, rates, resid, total_rate)
-    s = rates.sum()
-    if s > 0.0:
-        rates = rates * (total_rate / s)
+    else:
+        # Close the epsilon budget slack.  The proportional rescale is
+        # kept bit-exact with the historical behaviour whenever it is
+        # safe — downstream optimizers (the DVFS outer loop in power.py
+        # runs SLSQP at ftol = 1e-10) differentiate this output and are
+        # sensitive to last-ulp arithmetic differences — and only when
+        # it would push a cap-pinned server past (1 - margin) * cap
+        # does the cap-respecting projection take over.
+        s = float(rates.sum())
+        if s > 0.0:
+            hard_caps = (1.0 - _STABILITY_MARGIN) * group.spare_capacities
+            scaled = rates * (total_rate / s)
+            if np.all(scaled <= hard_caps):
+                rates = scaled
+            else:
+                rates = settle_residual(rates, total_rate, hard_caps)
     return LoadDistributionResult(
         generic_rates=rates,
         mean_response_time=group.mean_response_time(rates, disc),

@@ -1,0 +1,436 @@
+"""Damped-Newton dual-ascent solver backend.
+
+Every earlier backend reaches the paper's water-filling optimum by
+derivative-free root-finding: nested bisection (`core/bisection.py`,
+`core/vectorized.py`) or Brent's method (`core/kkt.py`).  Yet the
+optimum is a KKT point of a smooth convex program whose marginals are
+fully analytic (`core/objective.py`), so both root-finding levels admit
+second-order steps:
+
+Inner problem (per server, at multiplier ``phi``)
+    ``lambda'_i(phi)`` solves ``g_i(lambda) = phi`` where
+    ``g_i(lambda) = (T'_i + rho'_i dT'_i/drho) / lambda'`` is the
+    strictly increasing marginal cost.  Its analytic slope is
+
+    .. math::
+
+        g_i'(\\lambda) = \\frac{\\bar{x}_i}{m_i \\lambda'}
+            \\left(2 \\frac{\\partial T'_i}{\\partial \\rho}
+            + \\rho'_i \\frac{\\partial^2 T'_i}{\\partial \\rho^2}\\right)
+
+    with the second derivative from
+    :func:`repro.core.response.d2_generic_response_time_drho2`.  All
+    ``n`` inner Newton iterates advance together as arrays (one batched
+    kernel evaluation per sweep, reusing the `core/vectorized.py`
+    machinery), each safeguarded by a per-server bracket: a step
+    leaving its bracket falls back to the bracket midpoint, so progress
+    is never worse than bisection while quadratic convergence holds
+    near the root.
+
+Outer problem (the dual multiplier)
+    ``F(phi) = sum_i lambda'_i(phi)`` is continuous and non-decreasing;
+    the budget equation ``F(phi) = lambda'`` is solved by Newton steps
+    on ``phi`` using the analytic dual slope
+
+    .. math::
+
+        F'(\\phi) = \\sum_{i \\in \\text{free}} \\frac{1}{g_i'(\\lambda'_i(\\phi))}
+
+    (parked and capacity-pinned servers contribute zero).  The step is
+    safeguarded by the running ``(phi_lo, phi_hi)`` bracket; warm
+    starts (``phi_hint`` from a neighbouring sweep point or the
+    previous controller tick) typically land inside the quadratic basin
+    and converge in a handful of outer iterations.
+
+Both safeguards make the method exactly as robust as the bisection
+backends — including the degenerate flat-marginal case, where ``F``
+jumps across the root inside a multiplier window narrower than float
+resolution and the endpoint rate vectors are interpolated
+component-wise (the same repair the KKT backend applies).
+
+Registered as ``method="newton"`` (warm-startable); the measured
+speedups over the other backends are committed in
+``BENCH_solver_scaling.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import gammaln
+
+from .bisection import DEFAULT_TOL, STABILITY_MARGIN, settle_residual
+from .exceptions import ConvergenceError, ParameterError
+from .response import Discipline
+from .result import LoadDistributionResult
+from .server import BladeServerGroup
+from .vectorized import (
+    _d_response_drho_vec,
+    _dp_zero_drho_vec,
+    _waiting_factor_from_p0,
+    p_zero_vec,
+)
+
+__all__ = ["solve_newton", "marginal_cost_and_slope_vec"]
+
+#: Inner Newton sweeps per outer iteration before declaring failure.
+#: Safeguarded steps halve a bracket at worst, so ~60 sweeps resolve
+#: any double-precision interval; Newton itself needs far fewer.
+_MAX_INNER_SWEEPS = 120
+
+#: Outer multiplier iterations before declaring failure.
+_MAX_OUTER = 200
+
+
+def _d2p_zero_drho2_vec(
+    ms: np.ndarray, rhos: np.ndarray, p0: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`repro.core.erlang.d2p_zero_drho2` (given ``p_0``).
+
+    Mirrors the scalar code: the head sums of ``S'`` and ``S''`` run as
+    shared-axis term recurrences with per-server stop masks, the tails
+    are evaluated in log space, and ``m = 1`` (where ``p_0`` is linear
+    in ``rho``) is exactly zero.
+    """
+    mf = ms.astype(float)
+    a = mf * rhos
+    # S' head: sum_{k=1}^{m-1} m^k rho^{k-1}/(k-1)!  (k = 1 term is m).
+    s1 = np.where(ms >= 2, mf, 0.0)
+    u = mf.copy()
+    for k in range(2, int(ms.max())):
+        growing = ms > k
+        np.multiply(u, a / (k - 1), out=u, where=growing)
+        s1[growing] += u[growing]
+    # S'' head: sum_{k=2}^{m-1} m^k rho^{k-2}/(k-2)!  (k = 2 term m^2).
+    s2 = np.where(ms >= 3, mf * mf, 0.0)
+    v = mf * mf
+    for k in range(3, int(ms.max())):
+        growing = ms > k
+        np.multiply(v, a / (k - 2), out=v, where=growing)
+        s2[growing] += v[growing]
+    tail1 = np.zeros_like(rhos)
+    tail2 = np.zeros_like(rhos)
+    sel = (rhos > 0.0) & (ms >= 2)
+    if sel.any():
+        m = mf[sel]
+        r = rhos[sel]
+        c = np.exp(m * np.log(m) - gammaln(m + 1.0))
+        lead = m - (m - 1.0) * r
+        tail1[sel] = c * r ** (ms[sel] - 1) * lead / (1.0 - r) ** 2
+        tail2[sel] = c * (
+            m * (m - 1.0) * r ** (ms[sel] - 2) / (1.0 - r)
+            + 2.0 * r ** (ms[sel] - 1) * lead / (1.0 - r) ** 3
+        )
+    at_zero = (rhos == 0.0) & (ms == 2)
+    if at_zero.any():
+        # rho -> 0 limit of the S'' tail: c * m (m-1), nonzero only at
+        # m = 2 (every other term carries a positive power of rho).
+        m = mf[at_zero]
+        tail2[at_zero] = np.exp(m * np.log(m) - gammaln(m + 1.0)) * m * (m - 1.0)
+    sp = s1 + tail1
+    spp = s2 + tail2
+    out = p0 * p0 * (2.0 * p0 * sp * sp - spp)
+    out[ms == 1] = 0.0
+    return out
+
+
+def _d2_response_drho2_vec(
+    ms: np.ndarray,
+    xbars: np.ndarray,
+    rhos: np.ndarray,
+    rho_specials: np.ndarray,
+    disc: Discipline,
+    p0: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`repro.core.response.d2_generic_response_time_drho2`."""
+    out = np.zeros_like(rhos)
+    m1 = ms == 1
+    if m1.any():
+        out[m1] = 2.0 * xbars[m1] / (1.0 - rhos[m1]) ** 3
+    sel = ~m1 & (rhos > 0.0)
+    if sel.any():
+        mi = ms[sel]
+        m = mi.astype(float)
+        r = rhos[sel]
+        c = np.exp((m - 1.0) * np.log(m) - gammaln(m + 1.0))
+        p0s = p0[sel]
+        dp0 = _dp_zero_drho_vec(mi, r, p0s)
+        d2p0 = _d2p_zero_drho2_vec(mi, r, p0s)
+        one = 1.0 - r
+        lead = m - (m - 2.0) * r
+        h = r**mi / one**2
+        dh = r ** (mi - 1) * lead / one**3
+        d2h = (
+            r ** (mi - 2) * ((m - 1.0) * lead - (m - 2.0) * r) / one**3
+            + 3.0 * r ** (mi - 1) * lead / one**4
+        )
+        out[sel] = xbars[sel] * c * (d2p0 * h + 2.0 * dp0 * dh + p0s * d2h)
+    at_zero = ~m1 & (rhos == 0.0) & (ms == 2)
+    if at_zero.any():
+        # h''(0) = 2 at m = 2 with C = 2^1/2! = 1; zero for m >= 3.
+        out[at_zero] = 2.0 * xbars[at_zero]
+    if disc is Discipline.PRIORITY:
+        out /= 1.0 - rho_specials
+    return out
+
+
+def marginal_cost_and_slope_vec(
+    ms: np.ndarray,
+    xbars: np.ndarray,
+    specials: np.ndarray,
+    lams: np.ndarray,
+    total_rate: float,
+    disc: Discipline,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched marginal costs ``g_i`` and their slopes ``g_i'``.
+
+    One shared :func:`~repro.core.vectorized.p_zero_vec` evaluation
+    feeds the response time, both response-time derivatives, and hence
+    both outputs:
+
+    * ``g_i = (T'_i + rho'_i dT'_i/drho) / lambda'`` — identical to
+      :func:`~repro.core.vectorized.marginal_cost_vec`;
+    * ``g_i' = (xbar_i/m_i) (2 dT'_i/drho + rho'_i d2T'_i/drho2)
+      / lambda'`` — strictly positive on the stability region (``T'``
+      is increasing and convex in ``rho``), which is what makes both
+      Newton levels well-posed.
+    """
+    mf = ms.astype(float)
+    rho = (lams + specials) * xbars / mf
+    rho_g = lams * xbars / mf
+    rho_s = specials * xbars / mf
+    p0 = p_zero_vec(ms, rho)
+    w = _waiting_factor_from_p0(ms, rho, p0)
+    if disc is Discipline.PRIORITY:
+        w = w / (1.0 - rho_s)
+    t = xbars * (1.0 + w)
+    dt = _d_response_drho_vec(ms, xbars, rho, rho_s, disc, p0)
+    d2t = _d2_response_drho2_vec(ms, xbars, rho, rho_s, disc, p0)
+    g = (t + rho_g * dt) / total_rate
+    dg = (xbars / mf) * (2.0 * dt + rho_g * d2t) / total_rate
+    return g, dg
+
+
+def _inner_newton(
+    ms: np.ndarray,
+    xbars: np.ndarray,
+    specials: np.ndarray,
+    total_rate: float,
+    phi: float,
+    disc: Discipline,
+    tol: float,
+    x0: np.ndarray,
+    lb: np.ndarray,
+    ub: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Safeguarded batched Newton on ``g_i(lambda) = phi``.
+
+    All servers advance together; per-server brackets ``[lb_i, ub_i]``
+    are tightened by every evaluation and any Newton step leaving its
+    bracket is replaced by the bracket midpoint.  Returns the roots,
+    the slopes ``g_i'`` at the roots (the outer dual ascent needs
+    ``sum 1/g'``), and the number of batched kernel sweeps.
+    """
+    x = np.clip(x0, lb, ub)
+    lb = lb.copy()
+    ub = ub.copy()
+    dg_out = np.full(x.shape, np.inf)
+    # A server is frozen once its marginal residual reaches evaluation
+    # noise (a couple of ulps of phi — bisection cannot refine past the
+    # kernel's own roundoff) or its bracket collapses below tol.
+    # Freezing matters for correctness, not just speed: a converged
+    # server has xn == x on the bracket boundary, which the safeguard
+    # would otherwise misread as a failed step and bisect *away* from
+    # the root.  Each sweep then re-evaluates only the live subset, so
+    # the batched kernel shrinks as servers converge.
+    noise = 8.9e-16 * abs(phi)
+    done = (ub - lb) <= tol
+    sweeps = 0
+    for _ in range(_MAX_INNER_SWEEPS):
+        idx = np.flatnonzero(~done)
+        if idx.size == 0:
+            break
+        sweeps += 1
+        xs = x[idx]
+        g, dg = marginal_cost_and_slope_vec(
+            ms[idx], xbars[idx], specials[idx], xs, total_rate, disc
+        )
+        dg_out[idx] = dg
+        resid = g - phi
+        below = resid < 0.0
+        lbs = np.where(below, xs, lb[idx])
+        ubs = np.where(below, ub[idx], xs)
+        frozen = (np.abs(resid) <= noise) | (ubs - lbs <= tol)
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            xn = xs - resid / dg
+        bad = ~np.isfinite(xn) | (xn <= lbs) | (xn >= ubs)
+        xn = np.where(bad, 0.5 * (lbs + ubs), xn)
+        x[idx] = np.where(frozen, xs, xn)
+        lb[idx] = lbs
+        ub[idx] = ubs
+        done[idx] = frozen
+    else:  # pragma: no cover - midpoint fallback halves every bracket
+        raise ConvergenceError("newton inner iteration failed to converge")
+    return np.clip(x, lb, ub), dg_out, sweeps
+
+
+def solve_newton(
+    group: BladeServerGroup,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    tol: float = DEFAULT_TOL,
+    phi_hint: float | None = None,
+) -> LoadDistributionResult:
+    """Optimal load distribution via damped-Newton dual ascent.
+
+    Drop-in replacement for the bisection/KKT backends (same optimum,
+    agreement asserted to <= 1e-9 by the test suite); registered as
+    ``method="newton"`` in the solver registry.
+
+    Parameters
+    ----------
+    tol:
+        Convergence tolerance on the per-server rates and (relative to
+        the total) on the budget residual.
+    phi_hint:
+        Optional warm start for the dual multiplier, typically the
+        converged ``phi`` of a neighbouring sweep point or the previous
+        controller tick (see :func:`repro.api.solve_sweep`).
+    """
+    disc = Discipline.coerce(discipline)
+    group.check_feasible(total_rate)
+    if tol <= 0.0:
+        raise ParameterError(f"tol must be > 0, got {tol}")
+    ms = group.sizes.astype(np.int64)
+    xbars = group.xbars.astype(float)
+    specials = group.special_rates.astype(float)
+    n = ms.shape[0]
+    caps = group.spare_capacities
+    hard_caps = np.where(caps > 0.0, (1.0 - STABILITY_MARGIN) * caps, 0.0)
+    zeros = np.zeros(n)
+
+    # Both thresholds below are phi-independent, so one batched kernel
+    # evaluation each covers every outer iteration:
+    #   g0   — marginal at zero load; phi <= g0 parks the server,
+    #   gcap — marginal at the stability boundary; phi > gcap pins it.
+    g0, _ = marginal_cost_and_slope_vec(ms, xbars, specials, zeros, total_rate, disc)
+    gcap, _ = marginal_cost_and_slope_vec(
+        ms, xbars, specials, hard_caps, total_rate, disc
+    )
+
+    budget_tol = tol * max(1.0, total_rate)
+    inner_sweeps = 0
+    prev_rates = total_rate * np.divide(
+        caps, caps.sum(), out=np.zeros(n), where=caps.sum() > 0.0
+    )
+
+    def rates_at(
+        phi: float, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, float, np.ndarray]:
+        """``(rates, F'(phi), rates)`` at multiplier ``phi``.
+
+        ``lo``/``hi`` are component-wise root bounds carried over from
+        rate vectors already computed at smaller/larger multipliers
+        (``lambda'_i(phi)`` is non-decreasing in ``phi``).
+        """
+        nonlocal inner_sweeps, prev_rates
+        active = (caps > 0.0) & (g0 < phi)
+        if not active.any():
+            return zeros.copy(), 0.0, zeros.copy()
+        pinned = active & (gcap < phi)
+        free = active & ~pinned
+        rates = np.where(pinned, hard_caps, 0.0)
+        if free.any():
+            # Pad carried-over bounds by tol (the accuracy of the rates
+            # they came from), exactly as find_lambda_batched does.
+            lb = np.clip(np.where(free, lo - tol, 0.0), 0.0, hard_caps)
+            ub = np.where(free, np.minimum(hi + tol, hard_caps), 0.0)
+            lb = np.minimum(lb, ub)
+            x0 = np.where(free, prev_rates, 0.0)
+            roots, dg, sweeps = _inner_newton(
+                ms, xbars, specials, total_rate, phi, disc, tol, x0, lb, ub
+            )
+            inner_sweeps += sweeps
+            rates = np.where(free, roots, rates)
+            with np.errstate(divide="ignore"):
+                fprime = float(np.where(free, 1.0 / dg, 0.0).sum())
+        else:
+            fprime = 0.0
+        prev_rates = rates
+        return rates, fprime, rates
+
+    # Cold start: a capacity-proportional split is feasible, and the
+    # median of its marginals prices the middle of the group; a warm
+    # phi_hint replaces it and usually lands in the quadratic basin.
+    if phi_hint is not None and math.isfinite(phi_hint) and phi_hint > 0.0:
+        phi = float(phi_hint)
+    else:
+        g_start, _ = marginal_cost_and_slope_vec(
+            ms, xbars, specials, prev_rates, total_rate, disc
+        )
+        phi = float(np.median(g_start[caps > 0.0]))
+
+    phi_lo = 0.0
+    phi_hi = math.inf
+    r_lo = zeros.copy()
+    r_hi = hard_caps.copy()
+    f_lo = 0.0 - total_rate
+    f_hi = float(hard_caps.sum()) - total_rate
+    rates = prev_rates
+    iterations = 0
+    converged = False
+    for _ in range(_MAX_OUTER):
+        iterations += 1
+        rates, fprime, _ = rates_at(phi, r_lo, r_hi)
+        resid = float(rates.sum()) - total_rate
+        if abs(resid) <= budget_tol:
+            converged = True
+            break
+        if resid < 0.0:
+            phi_lo, r_lo, f_lo = phi, rates, resid
+        else:
+            phi_hi, r_hi, f_hi = phi, rates, resid
+        if math.isfinite(phi_hi) and (
+            phi_hi - phi_lo <= 1e-15 * max(phi_hi, 1.0)
+        ):
+            # Degenerate flat-marginal band: F(phi) jumps across the
+            # budget inside a float-resolution multiplier window.  The
+            # endpoint residuals straddle zero, so the component-wise
+            # interpolation meets the budget to roundoff while only
+            # moving the flat servers (same repair as the KKT backend).
+            t = f_lo / (f_lo - f_hi)
+            rates = r_lo + t * (r_hi - r_lo)
+            phi = phi_lo + t * (phi_hi - phi_lo)
+            converged = True
+            break
+        if fprime > 0.0 and math.isfinite(fprime):
+            step = resid / fprime
+            cand = phi - step
+        else:
+            cand = math.inf
+        in_bracket = phi_lo < cand < phi_hi
+        if not (math.isfinite(cand) and in_bracket):
+            if math.isfinite(phi_hi):
+                cand = 0.5 * (phi_lo + phi_hi)
+            else:
+                cand = 2.0 * max(phi, 1e-12)
+        phi = float(cand)
+    if not converged:
+        raise ConvergenceError(
+            f"solve_newton: no convergence in {_MAX_OUTER} outer iterations "
+            f"(residual {resid:.3e})"
+        )
+    rates = settle_residual(rates, total_rate, hard_caps)
+    return LoadDistributionResult(
+        generic_rates=rates,
+        mean_response_time=group.mean_response_time(rates, disc),
+        phi=phi,
+        discipline=disc,
+        method="newton-dual-ascent",
+        utilizations=group.utilizations(rates),
+        per_server_response_times=group.per_server_response_times(rates, disc),
+        iterations=iterations,
+        converged=True,
+        metadata={"inner_sweeps": inner_sweeps},
+    )

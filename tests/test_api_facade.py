@@ -18,7 +18,7 @@ from repro.core.exceptions import ParameterError
 from repro.core.result import LoadDistributionResult
 from repro.core.server import BladeServer, BladeServerGroup
 from repro.core.solvers import (
-    AUTO_VECTORIZED_THRESHOLD,
+    AUTO_NEWTON_THRESHOLD,
     available_methods,
     dispatch,
     register_method,
@@ -109,20 +109,27 @@ class TestInputCoercion:
 class TestMethodRegistry:
     def test_builtin_backends_registered(self):
         names = registered_methods()
-        assert {"bisection", "kkt", "slsqp", "closed-form", "vectorized"} <= set(names)
+        assert {
+            "bisection",
+            "kkt",
+            "slsqp",
+            "closed-form",
+            "vectorized",
+            "newton",
+        } <= set(names)
         assert "auto" in available_methods()
         assert "auto" not in names
 
     def test_warm_startable_set(self):
-        assert {"bisection", "vectorized"} <= warm_startable_methods()
+        assert {"bisection", "vectorized", "newton"} <= warm_startable_methods()
         assert "kkt" not in warm_startable_methods()
 
-    def test_auto_picks_vectorized_for_large_groups(self):
-        n = AUTO_VECTORIZED_THRESHOLD
+    def test_auto_picks_newton_for_large_groups(self):
+        n = AUTO_NEWTON_THRESHOLD
         big = BladeServerGroup.from_arrays(
             sizes=[2] * n, speeds=[1.0] * n, rbar=1.0
         )
-        assert resolve_method(big, "auto") == "vectorized"
+        assert resolve_method(big, "auto") == "newton"
 
     def test_auto_picks_closed_form_for_all_single_core(self, single_blade_group):
         assert resolve_method(single_blade_group, "auto") == "closed-form"

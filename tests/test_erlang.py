@@ -7,6 +7,7 @@ import math
 import pytest
 
 from repro.core.erlang import (
+    d2p_zero_drho2,
     dp_zero_drho,
     erlang_b,
     erlang_c,
@@ -213,3 +214,25 @@ class TestDPZeroDRho:
         # d(p0^-1)/drho at 0 is m (from the k=1 term), so dp0 = -m.
         for m in (2, 3, 7):
             assert dp_zero_drho(m, 0.0) == pytest.approx(-m, rel=1e-12)
+
+
+class TestD2PZeroDRho2:
+    @pytest.mark.parametrize("m", [2, 3, 5, 8, 14])
+    @pytest.mark.parametrize("rho", [0.05, 0.2, 0.5, 0.75, 0.9])
+    def test_matches_finite_difference_of_first(self, m, rho):
+        h = 1e-7
+        fd = (dp_zero_drho(m, rho + h) - dp_zero_drho(m, rho - h)) / (2 * h)
+        assert d2p_zero_drho2(m, rho) == pytest.approx(fd, rel=1e-5, abs=1e-9)
+
+    def test_single_server_is_zero(self):
+        # p0 = 1 - rho for m = 1: the second derivative vanishes exactly.
+        for rho in (0.0, 0.3, 0.9):
+            assert d2p_zero_drho2(1, rho) == 0.0
+
+    def test_at_zero_rho(self):
+        # S(0) = 1, S'(0) = m, S''(0) = m^2 (+ the m = 2 tail term), so
+        # d2p0(0) = 2 S'(0)^2 - S''(0); finite difference cross-check.
+        h = 1e-6
+        for m in (2, 3, 7):
+            fd = (dp_zero_drho(m, h) - dp_zero_drho(m, 0.0)) / h
+            assert d2p_zero_drho2(m, 0.0) == pytest.approx(fd, rel=1e-4)

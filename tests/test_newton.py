@@ -1,0 +1,241 @@
+"""Tests for the damped-Newton dual-ascent backend (core/newton.py).
+
+Covers the analytic building blocks (batched second derivatives and
+marginal-cost slopes against their scalar counterparts), cross-backend
+agreement on randomized heterogeneous groups — including zero-rate
+parked servers and the saturation edge — warm-start semantics, and the
+Tables 1–2 seven-decimal anchors through the ``repro.solve`` facade.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import solve
+from repro.core.bisection import calculate_t_prime
+from repro.core.exceptions import ParameterError
+from repro.core.kkt import solve_kkt
+from repro.core.newton import (
+    _d2_response_drho2_vec,
+    marginal_cost_and_slope_vec,
+    solve_newton,
+)
+from repro.core.objective import marginal_cost
+from repro.core.response import Discipline, d2_generic_response_time_drho2
+from repro.core.server import BladeServer, BladeServerGroup
+from repro.core.vectorized import _solve_vectorized, marginal_cost_vec
+from repro.workloads.paper import (
+    EXAMPLE_TOTAL_RATE,
+    TABLE1_RATES,
+    TABLE1_T_PRIME,
+    TABLE2_RATES,
+    TABLE2_T_PRIME,
+)
+
+DISCIPLINES = ["fcfs", "priority"]
+
+#: Half a unit in the seventh decimal place (the tables' precision).
+SEVEN_DECIMALS = 5e-8
+
+
+def random_group(rng: np.random.Generator) -> BladeServerGroup:
+    """A random heterogeneous group whose servers are never saturated
+    by their special load alone (special rate < 40% of capacity)."""
+    n = int(rng.integers(2, 20))
+    servers = []
+    for _ in range(n):
+        m = int(rng.integers(1, 9))
+        speed = float(rng.uniform(0.3, 3.0))
+        special = float(rng.uniform(0.0, 0.4) * m * speed)
+        servers.append(BladeServer(size=m, speed=speed, special_rate=special))
+    return BladeServerGroup(servers, rbar=1.0)
+
+
+class TestBatchedSecondDerivative:
+    @pytest.mark.parametrize("disc", DISCIPLINES)
+    def test_matches_scalar_kernel(self, disc):
+        ms = np.array([1, 2, 3, 5, 8, 14], dtype=np.int64)
+        xbars = np.array([0.8, 1.0, 1.3, 0.6, 1.0, 2.0])
+        rhos = np.array([0.3, 0.0, 0.55, 0.7, 0.9, 0.15])
+        rho_s = np.array([0.1, 0.0, 0.2, 0.3, 0.25, 0.05])
+        d = Discipline.coerce(disc)
+        from repro.core.vectorized import p_zero_vec
+
+        got = _d2_response_drho2_vec(ms, xbars, rhos, rho_s, d, p_zero_vec(ms, rhos))
+        want = [
+            d2_generic_response_time_drho2(
+                int(ms[i]), float(xbars[i]), float(rhos[i]), float(rho_s[i]), d
+            )
+            for i in range(ms.size)
+        ]
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-300)
+
+
+class TestMarginalAndSlope:
+    def test_marginal_matches_vectorized_kernel(self):
+        ms = np.array([2, 4, 6], dtype=np.int64)
+        xbars = np.array([1.0, 0.7, 1.4])
+        specials = np.array([0.5, 1.0, 0.8])
+        lams = np.array([0.6, 1.5, 0.0])
+        g, _ = marginal_cost_and_slope_vec(
+            ms, xbars, specials, lams, 5.0, Discipline.FCFS
+        )
+        ref = marginal_cost_vec(ms, xbars, specials, lams, 5.0, "fcfs")
+        np.testing.assert_allclose(g, ref, rtol=1e-13)
+
+    @pytest.mark.parametrize("disc", DISCIPLINES)
+    def test_slope_matches_finite_difference(self, disc):
+        ms = np.array([1, 3, 7], dtype=np.int64)
+        xbars = np.array([1.0, 0.8, 1.2])
+        specials = np.array([0.2, 0.9, 1.1])
+        lams = np.array([0.4, 1.2, 2.0])
+        d = Discipline.coerce(disc)
+        h = 1e-7
+        _, slope = marginal_cost_and_slope_vec(ms, xbars, specials, lams, 4.0, d)
+        g_hi, _ = marginal_cost_and_slope_vec(ms, xbars, specials, lams + h, 4.0, d)
+        g_lo, _ = marginal_cost_and_slope_vec(ms, xbars, specials, lams - h, 4.0, d)
+        np.testing.assert_allclose(slope, (g_hi - g_lo) / (2 * h), rtol=2e-5)
+
+
+class TestBackendAgreement:
+    """newton/kkt/bisection/vectorized agree to <= 1e-9 on random
+    heterogeneous groups (the ISSUE's property test)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_groups(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        group = random_group(rng)
+        lam = float(rng.uniform(0.05, 0.95)) * group.max_generic_rate
+        disc = DISCIPLINES[seed % 2]
+        r_newton = solve_newton(group, lam, disc)
+        r_kkt = solve_kkt(group, lam, disc)
+        r_bis = calculate_t_prime(group, lam, disc)
+        r_vec = _solve_vectorized(group, lam, disc)
+        for other in (r_kkt, r_bis, r_vec):
+            assert float(
+                np.max(np.abs(r_newton.generic_rates - other.generic_rates))
+            ) <= 1e-9
+
+    def test_parked_servers_get_zero(self):
+        # One server saturated by special load (zero spare capacity)
+        # and one too slow to deserve traffic at low load.
+        group = BladeServerGroup(
+            [
+                BladeServer(size=2, speed=1.0, special_rate=1.999),
+                BladeServer(size=1, speed=0.05),
+                BladeServer(size=4, speed=2.0),
+            ],
+            rbar=1.0,
+        )
+        lam = 0.2 * group.max_generic_rate
+        r_newton = solve_newton(group, lam)
+        r_kkt = solve_kkt(group, lam)
+        assert r_newton.generic_rates[0] == 0.0
+        assert r_newton.generic_rates[1] == 0.0
+        assert float(
+            np.max(np.abs(r_newton.generic_rates - r_kkt.generic_rates))
+        ) <= 1e-9
+
+    @pytest.mark.parametrize("frac", [0.99, 0.999, 1.0 - 1e-9])
+    def test_saturation_edge(self, frac):
+        group = BladeServerGroup(
+            [BladeServer(size=16, speed=1.0) for _ in range(6)]
+            + [BladeServer(size=1, speed=2.0)],
+            rbar=1.0,
+        )
+        lam = frac * group.max_generic_rate
+        r_newton = solve_newton(group, lam)
+        r_kkt = solve_kkt(group, lam)
+        assert float(
+            np.max(np.abs(r_newton.generic_rates - r_kkt.generic_rates))
+        ) <= 1e-9
+        assert float(abs(r_newton.generic_rates.sum() - lam)) <= 1e-9 * lam
+        assert np.all(r_newton.utilizations < 1.0)
+
+    def test_flat_marginal_interpolation_repair(self):
+        # Identical large-m servers at low load: F(phi) jumps across
+        # the budget inside a float-resolution multiplier window, so
+        # the component-wise endpoint interpolation must close it.
+        group = BladeServerGroup(
+            [BladeServer(size=16, speed=1.0) for _ in range(6)], rbar=1.0
+        )
+        lam = 0.2 * group.max_generic_rate
+        res = solve_newton(group, lam)
+        assert float(abs(res.generic_rates.sum() - lam)) <= 1e-9 * lam
+        np.testing.assert_allclose(
+            res.generic_rates, res.generic_rates[0], rtol=1e-9
+        )
+
+
+class TestWarmStart:
+    def test_phi_hint_converges_to_same_optimum(self, paper_group):
+        cold = solve_newton(paper_group, EXAMPLE_TOTAL_RATE)
+        warm = solve_newton(
+            paper_group, EXAMPLE_TOTAL_RATE * 1.02, phi_hint=cold.phi
+        )
+        again = solve_newton(paper_group, EXAMPLE_TOTAL_RATE * 1.02)
+        assert float(
+            np.max(np.abs(warm.generic_rates - again.generic_rates))
+        ) <= 1e-9
+
+    def test_exact_hint_converges_in_few_outers(self, paper_group):
+        cold = solve_newton(paper_group, EXAMPLE_TOTAL_RATE)
+        warm = solve_newton(paper_group, EXAMPLE_TOTAL_RATE, phi_hint=cold.phi)
+        assert warm.iterations <= 3
+        assert warm.iterations < cold.iterations
+
+    def test_registered_as_warm_startable(self):
+        from repro.core.solvers import warm_startable_methods
+
+        assert "newton" in warm_startable_methods()
+
+
+class TestFacadeAnchors:
+    """Tables 1-2 seven-decimal reproduction through repro.solve."""
+
+    def test_table1_fcfs(self, paper_group):
+        res = solve(paper_group, EXAMPLE_TOTAL_RATE, method="newton")
+        assert res.backend == "newton"
+        assert res.mean_response_time == pytest.approx(
+            TABLE1_T_PRIME, abs=SEVEN_DECIMALS
+        )
+        assert np.allclose(res.generic_rates, TABLE1_RATES, atol=SEVEN_DECIMALS)
+
+    def test_table2_priority(self, paper_group):
+        res = solve(
+            paper_group, EXAMPLE_TOTAL_RATE, discipline="priority", method="newton"
+        )
+        assert res.mean_response_time == pytest.approx(
+            TABLE2_T_PRIME, abs=SEVEN_DECIMALS
+        )
+        assert np.allclose(res.generic_rates, TABLE2_RATES, atol=SEVEN_DECIMALS)
+
+
+class TestValidationAndResult:
+    def test_bad_tol(self, paper_group):
+        with pytest.raises(ParameterError):
+            solve_newton(paper_group, EXAMPLE_TOTAL_RATE, tol=0.0)
+
+    def test_result_metadata(self, paper_group):
+        res = solve_newton(paper_group, EXAMPLE_TOTAL_RATE)
+        assert res.method == "newton-dual-ascent"
+        assert res.converged
+        assert res.iterations >= 1
+        assert res.metadata["inner_sweeps"] >= 1
+
+    def test_equal_marginals_at_optimum(self, paper_group):
+        res = solve_newton(paper_group, EXAMPLE_TOTAL_RATE)
+        loaded = [
+            marginal_cost(
+                s.size,
+                s.xbar(paper_group.rbar),
+                s.special_rate,
+                float(lam),
+                EXAMPLE_TOTAL_RATE,
+                "fcfs",
+            )
+            for s, lam in zip(paper_group.servers, res.generic_rates)
+            if lam > 1e-6
+        ]
+        assert max(loaded) - min(loaded) <= 1e-8 * max(loaded)

@@ -385,6 +385,13 @@ class TestInstrumentedSolvePath:
         lat = o.registry.get("repro_solve_seconds")
         assert lat.count == 1
         assert lat.sum > 0.0
+        # The iteration histogram must reflect the true outer work: the
+        # paper group needs ~10 Brent steps on the multiplier, so the
+        # historical doublings-only count (1-2) would fail this bound.
+        iters = o.registry.get("repro_solve_iterations")
+        assert iters.count == 1
+        assert res.iterations >= 8
+        assert iters.sum == pytest.approx(float(res.iterations))
 
     def test_vectorized_outer_spans_nest_under_solve(self, paper_group):
         o = configure(ObsConfig(enabled=True))

@@ -8,6 +8,7 @@ from repro.core.exceptions import ParameterError, SaturationError
 from repro.core.mmm import MMmQueue
 from repro.core.response import (
     Discipline,
+    d2_generic_response_time_drho2,
     d_generic_response_time_drho,
     generic_response_time,
     generic_response_time_rho,
@@ -164,3 +165,43 @@ class TestDerivative:
     def test_rho_special_exceeding_rho_raises(self):
         with pytest.raises(ParameterError):
             generic_response_time_rho(2, 1.0, 0.3, 0.5)
+
+
+class TestSecondDerivative:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8, 14])
+    @pytest.mark.parametrize("rho", [0.1, 0.4, 0.7, 0.9])
+    @pytest.mark.parametrize("disc", ["fcfs", "priority"])
+    def test_matches_finite_difference_of_first(self, m, rho, disc):
+        xbar = 0.8
+        rho_s = min(0.3, rho / 2)
+        h = 1e-7
+
+        def d1(r):
+            return d_generic_response_time_drho(m, xbar, r, rho_s, disc)
+
+        fd = (d1(rho + h) - d1(rho - h)) / (2 * h)
+        analytic = d2_generic_response_time_drho2(m, xbar, rho, rho_s, disc)
+        assert analytic == pytest.approx(fd, rel=2e-5, abs=1e-8)
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 7])
+    def test_rho_zero_limits(self, m):
+        # d2T(0) = 2 xbar for m in {1, 2} (M/M/1 closed form and the
+        # h''(0) = 2 term at m = 2); every higher m carries a positive
+        # power of rho in all terms.
+        expected = 2.0 * 0.8 if m <= 2 else 0.0
+        assert d2_generic_response_time_drho2(m, 0.8, 0.0, 0.0) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_positive_on_interior(self):
+        # T' convex in rho: what lets the Newton backend take full
+        # second-order steps safely.
+        for m in (1, 3, 9):
+            for rho in (0.2, 0.6, 0.95):
+                assert d2_generic_response_time_drho2(m, 1.0, rho, 0.1) > 0.0
+
+    def test_priority_second_derivative_scaled(self):
+        m, xbar, rho, rho_s = 4, 1.0, 0.6, 0.25
+        d_f = d2_generic_response_time_drho2(m, xbar, rho, rho_s, "fcfs")
+        d_p = d2_generic_response_time_drho2(m, xbar, rho, rho_s, "priority")
+        assert d_p == pytest.approx(d_f / (1.0 - rho_s), rel=1e-12)

@@ -156,6 +156,86 @@ class TestOptimalityConditions:
         assert np.all(res.utilizations < 1.0)
 
 
+class TestKKTBudgetRepair:
+    """Regressions for the final budget step of :func:`solve_kkt`.
+
+    Historically the solver finished with an unconditional proportional
+    rescale ``rates * (total / sum)``: applied after
+    ``_equalizing_repair`` it re-perturbed the repaired vector (moving
+    exactly the steep servers the repair protected), and applied to a
+    cap-pinned vector with a sub-threshold residual it could push a
+    rate past the ``(1 - _STABILITY_MARGIN) * cap`` stability bound.
+    """
+
+    @staticmethod
+    def _flat_marginal_group():
+        # Identical large-m servers at low utilization have numerically
+        # flat marginal-cost curves: F(phi) jumps across the root and
+        # forces the equalizing-repair path.  The single small server
+        # has a steep marginal the repair must leave untouched.
+        from repro.core.server import BladeServer
+
+        return BladeServerGroup(
+            [BladeServer(size=16, speed=1.0) for _ in range(6)]
+            + [BladeServer(size=1, speed=2.0)],
+            rbar=1.0,
+        )
+
+    def test_flat_marginal_repair_path_triggers(self, monkeypatch):
+        import repro.core.kkt as kkt_mod
+
+        calls = []
+        orig = kkt_mod._equalizing_repair
+
+        def spy(*args, **kwargs):
+            out = orig(*args, **kwargs)
+            calls.append(out.copy())
+            return out
+
+        monkeypatch.setattr(kkt_mod, "_equalizing_repair", spy)
+        group = self._flat_marginal_group()
+        lam = 0.3 * group.max_generic_rate
+        res = solve_kkt(group, lam)
+        assert calls, "flat-marginal group must exercise the repair path"
+        # The repaired vector is returned as-is: the old unconditional
+        # rescale multiplied it by total/sum, so even a roundoff-level
+        # residual broke bitwise identity with the repair output.
+        assert np.array_equal(res.generic_rates, calls[-1])
+
+    def test_flat_marginal_budget_caps_and_pricing(self):
+        import repro.core.kkt as kkt_mod
+
+        group = self._flat_marginal_group()
+        lam = 0.3 * group.max_generic_rate
+        res = solve_kkt(group, lam)
+        rates = res.generic_rates
+        assert float(abs(rates.sum() - lam)) <= 1e-9 * lam
+        hard = (1.0 - kkt_mod._STABILITY_MARGIN) * group.spare_capacities
+        assert np.all(rates <= hard)
+        # The steep server keeps its KKT price: its marginal equals phi
+        # far more tightly than a proportional rescale would leave it.
+        steep = marginal_cost(1, 0.5, 0.0, float(rates[-1]), lam, "fcfs")
+        assert steep == pytest.approx(res.phi, rel=1e-6)
+
+    @pytest.mark.parametrize("frac", [0.999, 1.0 - 1e-12])
+    def test_near_saturated_rates_respect_stability_bound(self, frac):
+        import repro.core.kkt as kkt_mod
+
+        group = self._flat_marginal_group()
+        lam = frac * group.max_generic_rate
+        res = solve_kkt(group, lam)
+        hard = (1.0 - kkt_mod._STABILITY_MARGIN) * group.spare_capacities
+        assert np.all(res.generic_rates <= hard)
+        assert float(abs(res.generic_rates.sum() - lam)) <= 1e-9 * max(lam, 1.0)
+
+    def test_iterations_include_brent_work(self, paper_group):
+        from repro.workloads.paper import EXAMPLE_TOTAL_RATE
+
+        res = solve_kkt(paper_group, EXAMPLE_TOTAL_RATE)
+        # Bracket doubling alone reports 1-2 here; Brent needs ~10 more.
+        assert res.iterations >= 8
+
+
 class TestFacade:
     def test_available_methods(self):
         methods = available_methods()

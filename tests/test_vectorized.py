@@ -217,17 +217,17 @@ class TestRegistryIntegration:
         )
         assert res.method == "vectorized-bisection"
 
-    def test_auto_picks_vectorized_for_large_groups(self):
+    def test_auto_picks_newton_for_large_groups(self):
         sizes = [2 + (i % 8) for i in range(80)]
         speeds = [0.8 + 0.01 * i for i in range(80)]
         group = BladeServerGroup.with_special_fraction(
             sizes, speeds, fraction=0.2
         )
-        assert resolve_method(group, "auto") == "vectorized"
+        assert resolve_method(group, "auto") == "newton"
         res = optimize_load_distribution(
             group, 0.5 * group.max_generic_rate, method="auto"
         )
-        assert res.method == "vectorized-bisection"
+        assert res.method == "newton-dual-ascent"
 
     def test_auto_keeps_kkt_for_small_groups(self, paper_group):
         assert resolve_method(paper_group, "auto") == "kkt"

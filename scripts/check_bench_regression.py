@@ -47,6 +47,11 @@ ABSOLUTE_FLOORS = {
     "warm_vectorized_over_newton@n=500": 5.0,
 }
 
+#: Acceptance ceiling on the sharded solve's optimality gap vs the flat
+#: Newton solve with pruning off (< 0.1%).  The gap is deterministic —
+#: no timing involved — so it is asserted in quick mode too.
+EXACT_GAP_CEILING = 1e-3
+
 
 def load_baseline() -> dict:
     path = os.path.join(REPO_ROOT, "BENCH_solver_scaling.json")
@@ -99,6 +104,22 @@ def compare(baseline: dict, fresh: dict, quick: bool) -> list[str]:
                 failures.append(
                     f"{key}: {ratio:.1f}x below acceptance floor {floor:.1f}x"
                 )
+    pruning = fresh.get("pruning")
+    if pruning is not None:
+        gap = pruning["exact_gap"]
+        if abs(gap) >= EXACT_GAP_CEILING:
+            failures.append(
+                f"sharded exact_gap@n={pruning['n']}: {gap:.2e} vs flat "
+                f"Newton (ceiling {EXACT_GAP_CEILING:.0e})"
+            )
+        gaps = [e["gap"] for e in pruning["entries"]]
+        for a, b in zip(gaps, gaps[1:]):
+            if b > a + 1e-9:
+                failures.append(
+                    f"sharded pruning gap curve not monotone at "
+                    f"n={pruning['n']}: {gaps}"
+                )
+                break
     return failures
 
 
@@ -121,6 +142,15 @@ def main(argv: list[str] | None = None) -> int:
         base = baseline["speedups"].get(key)
         base_txt = f"{base:.1f}x committed" if base is not None else "new"
         print(f"  {key}: {fresh['speedups'][key]:.1f}x ({base_txt})")
+    pruning = fresh.get("pruning")
+    if pruning is not None:
+        print(
+            f"sharded@n={pruning['n']}: exact_gap {pruning['exact_gap']:.2e}, "
+            "top-k gap curve "
+            + ", ".join(
+                f"k={e['top_k']}: {e['gap']:.2e}" for e in pruning["entries"]
+            )
+        )
 
     failures = compare(baseline, fresh, quick=args.quick)
     if failures:

@@ -34,6 +34,9 @@ SIGNATURE_NAMES = (
     "solve",
     "solve_sweep",
     "run_closed_loop",
+    "run_sharded_closed_loop",
+    "solve_sharded",
+    "partition_group",
     "register_method",
     "random_fault_schedule",
     "restore_runtime",
@@ -67,7 +70,7 @@ def render_snapshot() -> str:
         obj = getattr(repro, name)
         lines.append(f"{name}{inspect.signature(obj)}")
     lines += ["", "[configs]"]
-    for cfg_name in ("ObsConfig", "RuntimeConfig", "RecoveryConfig"):
+    for cfg_name in ("ObsConfig", "RuntimeConfig", "RecoveryConfig", "ShardConfig"):
         cls = getattr(repro, cfg_name)
         import dataclasses
 

@@ -51,6 +51,11 @@ Subpackages
     Durable control-plane state: write-ahead decision journal,
     versioned checkpoints, deterministic crash recovery
     (:func:`restore_runtime`).
+``repro.shard``
+    Sharded control plane for fleet-scale groups: partitioning,
+    the hierarchical coordinator (``method="sharded"``), sparse
+    candidate pruning, and the multi-dispatcher closed loop
+    (:func:`run_sharded_closed_loop`).
 ``repro.dispatch``
     Load-distribution policies: the optimal split plus baselines.
 ``repro.workloads``
@@ -85,6 +90,14 @@ from .obs import ObsConfig, configure, get_obs, reset_obs
 from .recovery import RecoveryConfig
 from .recovery.resume import RestoreReport, restore_runtime
 from .runtime.loop import ClosedLoopResult, RuntimeConfig, run_closed_loop
+from .shard import (
+    ShardConfig,
+    ShardedRuntimeReport,
+    ShardPlan,
+    partition_group,
+    run_sharded_closed_loop,
+    solve_sharded,
+)
 
 __version__ = "1.1.0"
 
@@ -108,6 +121,13 @@ __all__ = [
     "run_closed_loop",
     "RuntimeConfig",
     "ClosedLoopResult",
+    # Sharded control plane (fleet scale).
+    "ShardConfig",
+    "ShardPlan",
+    "partition_group",
+    "solve_sharded",
+    "run_sharded_closed_loop",
+    "ShardedRuntimeReport",
     # Fault injection.
     "FaultSpec",
     "FaultSchedule",

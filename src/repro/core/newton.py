@@ -217,7 +217,7 @@ def _inner_newton(
     xbars: np.ndarray,
     specials: np.ndarray,
     total_rate: float,
-    phi: float,
+    phi: float | np.ndarray,
     disc: Discipline,
     tol: float,
     x0: np.ndarray,
@@ -231,10 +231,16 @@ def _inner_newton(
     bracket is replaced by the bracket midpoint.  Returns the roots,
     the slopes ``g_i'`` at the roots (the outer dual ascent needs
     ``sum 1/g'``), and the number of batched kernel sweeps.
+
+    ``phi`` may be a scalar (one multiplier for every server — the flat
+    solve) or a per-server vector: the sharded coordinator evaluates
+    several shards' load responses at *different* multipliers in one
+    batched sweep this way (see :mod:`repro.shard.coordinator`).
     """
     x = np.clip(x0, lb, ub)
     lb = lb.copy()
     ub = ub.copy()
+    phis = np.broadcast_to(np.asarray(phi, dtype=float), x.shape)
     dg_out = np.full(x.shape, np.inf)
     # A server is frozen once its marginal residual reaches evaluation
     # noise (a couple of ulps of phi — bisection cannot refine past the
@@ -244,7 +250,7 @@ def _inner_newton(
     # would otherwise misread as a failed step and bisect *away* from
     # the root.  Each sweep then re-evaluates only the live subset, so
     # the batched kernel shrinks as servers converge.
-    noise = 8.9e-16 * abs(phi)
+    noise = 8.9e-16 * np.abs(phis)
     done = (ub - lb) <= tol
     sweeps = 0
     for _ in range(_MAX_INNER_SWEEPS):
@@ -257,11 +263,11 @@ def _inner_newton(
             ms[idx], xbars[idx], specials[idx], xs, total_rate, disc
         )
         dg_out[idx] = dg
-        resid = g - phi
+        resid = g - phis[idx]
         below = resid < 0.0
         lbs = np.where(below, xs, lb[idx])
         ubs = np.where(below, ub[idx], xs)
-        frozen = (np.abs(resid) <= noise) | (ubs - lbs <= tol)
+        frozen = (np.abs(resid) <= noise[idx]) | (ubs - lbs <= tol)
         with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
             xn = xs - resid / dg
         bad = ~np.isfinite(xn) | (xn <= lbs) | (xn >= ubs)
@@ -296,7 +302,12 @@ def solve_newton(
     phi_hint:
         Optional warm start for the dual multiplier, typically the
         converged ``phi`` of a neighbouring sweep point or the previous
-        controller tick (see :func:`repro.api.solve_sweep`).
+        controller tick (see :func:`repro.api.solve_sweep`).  A hint
+        outside the feasible multiplier band — per-shard hints carried
+        across drifting shard loads land there routinely — is detected
+        against the precomputed band and re-anchored to the cold-start
+        seed, so a stale hint costs at most one extra batched
+        evaluation, never a safeguarded re-bracketing walk.
     """
     disc = Discipline.coerce(discipline)
     group.check_feasible(total_rate)
@@ -360,19 +371,43 @@ def solve_newton(
         prev_rates = rates
         return rates, fprime, rates
 
+    # The zero-load and capacity marginals bound the multiplier a
+    # priori: F(phi) = 0 for phi <= min g0 (everything parked) and
+    # F(phi) = sum hard_caps for phi > max gcap (everything pinned), so
+    # the root lives inside the *finite* bracket (phi_floor, phi_ceil].
+    # Seeding the outer safeguard with that bracket — instead of
+    # (0, inf) — means a warm ``phi_hint`` that drifted outside the
+    # feasible band (per-shard hints across drifting shard loads do
+    # this routinely) is clamped and re-bracketed in O(1) instead of
+    # spending safeguarded outer iterations walking back inside.
+    live = caps > 0.0
+    phi_floor = float(g0[live].min())
+    phi_ceil = float(np.nextafter(gcap[live].max(), math.inf))
+    phi_seed = float(np.nextafter(phi_floor, math.inf))
+
     # Cold start: a capacity-proportional split is feasible, and the
-    # median of its marginals prices the middle of the group; a warm
-    # phi_hint replaces it and usually lands in the quadratic basin.
-    if phi_hint is not None and math.isfinite(phi_hint) and phi_hint > 0.0:
+    # median of its marginals prices the middle of the group; an
+    # *in-band* phi_hint replaces it and usually lands in the quadratic
+    # basin.  A hint outside the band carries no information beyond the
+    # bound it violated, and starting at the violated edge is a trap:
+    # gcap diverges as 1/STABILITY_MARGIN at the stability boundary, so
+    # a ceiling start degenerates into bisection across ~12 decades.
+    # Stale hints therefore re-anchor to the cold seed — one batched
+    # kernel evaluation, mid-band by construction.
+    if (
+        phi_hint is not None
+        and math.isfinite(phi_hint)
+        and phi_seed <= phi_hint <= phi_ceil
+    ):
         phi = float(phi_hint)
     else:
         g_start, _ = marginal_cost_and_slope_vec(
             ms, xbars, specials, prev_rates, total_rate, disc
         )
-        phi = float(np.median(g_start[caps > 0.0]))
+        phi = min(max(float(np.median(g_start[live])), phi_seed), phi_ceil)
 
-    phi_lo = 0.0
-    phi_hi = math.inf
+    phi_lo = phi_floor
+    phi_hi = phi_ceil
     r_lo = zeros.copy()
     r_hi = hard_caps.copy()
     f_lo = 0.0 - total_rate
@@ -391,9 +426,7 @@ def solve_newton(
             phi_lo, r_lo, f_lo = phi, rates, resid
         else:
             phi_hi, r_hi, f_hi = phi, rates, resid
-        if math.isfinite(phi_hi) and (
-            phi_hi - phi_lo <= 1e-15 * max(phi_hi, 1.0)
-        ):
+        if phi_hi - phi_lo <= 1e-15 * max(phi_hi, 1.0):
             # Degenerate flat-marginal band: F(phi) jumps across the
             # budget inside a float-resolution multiplier window.  The
             # endpoint residuals straddle zero, so the component-wise
@@ -409,12 +442,18 @@ def solve_newton(
             cand = phi - step
         else:
             cand = math.inf
-        in_bracket = phi_lo < cand < phi_hi
-        if not (math.isfinite(cand) and in_bracket):
-            if math.isfinite(phi_hi):
-                cand = 0.5 * (phi_lo + phi_hi)
+        if not (math.isfinite(cand) and phi_lo < cand < phi_hi):
+            # The bracket is finite from the start, so the safeguard is
+            # always a bisection step — geometric when the bracket still
+            # spans decades (marginals are positive but gcap diverges
+            # with the stability margin, so the initial bracket can span
+            # ~12 orders of magnitude; arithmetic halving would burn an
+            # iteration per factor of two while the geometric step
+            # halves the *exponent* range).
+            if phi_lo > 0.0 and phi_hi > 100.0 * phi_lo:
+                cand = math.sqrt(phi_lo * phi_hi)
             else:
-                cand = 2.0 * max(phi, 1e-12)
+                cand = 0.5 * (phi_lo + phi_hi)
         phi = float(cand)
     if not converged:
         raise ConvergenceError(

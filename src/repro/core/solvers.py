@@ -28,6 +28,10 @@ method             backend
                    (supports ``phi_hint`` warm starts)
 ``"newton"``       damped-Newton dual ascent on analytic second derivatives
                    (fastest at every measured size; warm-startable)
+``"sharded"``      hierarchical KKT for fleet scale: outer Newton on the
+                   shared multiplier over per-shard response functions,
+                   optional top-k pruning (:mod:`repro.shard`;
+                   warm-startable with a per-shard ``phi_hint`` dict)
 ``"auto"``         ``closed-form`` when all sizes are 1, ``newton`` for
                    groups of n >= 16, else ``kkt``
 =================  ==========================================================

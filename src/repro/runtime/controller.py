@@ -256,6 +256,19 @@ class ResolveController:
     def _to_weights(self, result: LoadDistributionResult) -> np.ndarray:
         return self._health.expand(result.fractions)
 
+    def prime_phi_hint(self, phi: float) -> None:
+        """Seed the warm-start anchor from outside the resolve path.
+
+        The sharded coordinator solves the *global* multiplier and
+        pushes it down so each shard controller's next drift-triggered
+        re-solve starts in the quadratic basin instead of cold.  The
+        anchor is bound to the current health fingerprint exactly like
+        a locally earned one, so a topology change invalidates it.
+        """
+        if math.isfinite(phi) and phi > 0.0:
+            self._phi_hint = float(phi)
+            self._phi_fingerprint = self._health.fingerprint()
+
     def should_adopt(
         self, current_weights: np.ndarray | None, new_weights: np.ndarray
     ) -> bool:

@@ -1,0 +1,44 @@
+"""repro.shard — the sharded control plane for fleet-scale groups.
+
+Partitions a blade-server fleet into dispatcher-owned shards
+(:mod:`repro.shard.partition`), solves each shard's inner KKT splits
+against a shared multiplier and equalizes marginal cost across shards
+one level up (:mod:`repro.shard.coordinator` — the paper's
+water-filling lifted a level, registered as ``method="sharded"``),
+prunes each dispatcher's candidate set to its top-k servers with a
+measured optimality gap (:mod:`repro.shard.sparse`), and runs the
+multi-dispatcher closed loop where every shard owns its own journal
+and checkpoint generation (:mod:`repro.shard.runtime`).
+
+See ``docs/SHARDING.md`` for the architecture and the outer-loop
+derivation.
+"""
+
+from __future__ import annotations
+
+from .coordinator import ShardCoordinator, solve_sharded
+from .partition import Shard, ShardConfig, ShardPlan, partition_group
+from .runtime import ShardedRuntimeReport, run_sharded_closed_loop
+from .sparse import (
+    PruningGapEntry,
+    PruningGapReport,
+    candidate_sets,
+    pruning_gap_report,
+    rank_servers,
+)
+
+__all__ = [
+    "ShardConfig",
+    "Shard",
+    "ShardPlan",
+    "partition_group",
+    "ShardCoordinator",
+    "solve_sharded",
+    "candidate_sets",
+    "rank_servers",
+    "PruningGapEntry",
+    "PruningGapReport",
+    "pruning_gap_report",
+    "ShardedRuntimeReport",
+    "run_sharded_closed_loop",
+]

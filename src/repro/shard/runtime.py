@@ -1,0 +1,349 @@
+"""Multi-dispatcher closed loop: one runtime per shard, coordinated.
+
+The flat closed loop (:mod:`repro.runtime.loop`) is one dispatcher that
+sees every server.  At fleet scale the control plane is sharded: each
+shard runs its *own* :class:`~repro.runtime.loop.LoadDistributionRuntime`
+— estimator, drift-triggered controller, router, and (when enabled) its
+own write-ahead journal and checkpoint generation under
+``<recovery.directory>/shard-XX/`` — over just its members, while the
+coordinator periodically re-solves the *global* split
+(:func:`repro.shard.coordinator.solve_sharded`) from the shards'
+aggregated rate estimates and pushes the result down as
+
+* **shard shares** — the fraction of the arrival stream each shard
+  dispatcher owns (Bernoulli splitting keeps every shard's substream
+  Poisson, so each inner runtime still operates in the paper's model);
+* **per-shard warm starts** — the converged global multiplier primes
+  every shard controller's ``phi_hint``
+  (:meth:`~repro.runtime.controller.ResolveController.prime_phi_hint`),
+  so the next drift-triggered local re-solve starts in the quadratic
+  basin.
+
+Between coordinator ticks the shards are fully autonomous: local drift
+re-solves, local failures, local shedding — no cross-shard traffic at
+all, which is the operational point of the architecture.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..core.exceptions import ParameterError
+from ..core.response import Discipline
+from ..core.server import BladeServerGroup
+from ..obs import get_obs
+from ..runtime.loop import LoadDistributionRuntime, RuntimeConfig
+from ..sim.arrivals import TracedPoissonArrivals
+from ..sim.engine import GroupSimulation, SimulationConfig, SimulationResult
+from ..sim.task import SimTask
+from ..workloads.traces import RateTrace
+from .coordinator import solve_sharded
+from .partition import ShardConfig, ShardPlan, partition_group
+
+__all__ = ["ShardedDispatcher", "ShardedRuntimeReport", "run_sharded_closed_loop"]
+
+
+def _shard_runtime_config(
+    config: RuntimeConfig, shard_index: int
+) -> RuntimeConfig:
+    """Derive shard ``shard_index``'s runtime config from the base one.
+
+    Each dispatcher gets an independent random seed and — when
+    durability is on — its own recovery directory, so journals and
+    checkpoint generations never interleave across shards.
+    """
+    recovery = config.recovery
+    if recovery.enabled:
+        recovery = replace(
+            recovery,
+            directory=os.path.join(
+                recovery.directory, f"shard-{shard_index:02d}"
+            ),
+        )
+    return replace(
+        config,
+        seed=config.seed + 7919 * (shard_index + 1),
+        recovery=recovery,
+    )
+
+
+class ShardedDispatcher:
+    """Engine-facing composite of per-shard dispatchers.
+
+    Implements the same protocol as a single
+    :class:`~repro.runtime.loop.LoadDistributionRuntime` — the
+    ``observe_arrival`` / ``route`` / ``observe_completion`` hook trio —
+    by Bernoulli-splitting the arrival stream across shards (per the
+    coordinator's shares) and delegating everything else to the owning
+    shard's runtime.  ``observe_arrival`` runs *before* ``route`` on
+    every generic arrival (the engine guarantees the ordering), so the
+    shard drawn there is the one ``route`` delegates to.
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        runtimes: Sequence[LoadDistributionRuntime],
+        shares: np.ndarray,
+        rng: np.random.Generator,
+        solver_tol: float | None = None,
+    ) -> None:
+        if len(runtimes) != plan.n_shards:
+            raise ParameterError(
+                f"need one runtime per shard: {plan.n_shards} shards, "
+                f"{len(runtimes)} runtimes"
+            )
+        self.plan = plan
+        self.runtimes = tuple(runtimes)
+        self._members = [np.asarray(s.members) for s in plan.shards]
+        self._owner = plan.assignment
+        self._rng = rng
+        self._tol = solver_tol
+        self._pending = 0
+        self._shard_phi: dict[int, float] | None = None
+        self.rebalances = 0
+        self.set_shares(shares)
+
+    # -- coordinator-facing ----------------------------------------------------------
+
+    @property
+    def shares(self) -> np.ndarray:
+        """Current per-shard fractions of the arrival stream."""
+        return self._shares.copy()
+
+    def set_shares(self, shares: np.ndarray) -> None:
+        """Adopt new per-shard arrival fractions (renormalized)."""
+        shares = np.asarray(shares, dtype=float)
+        if shares.shape != (self.plan.n_shards,) or (shares < 0.0).any():
+            raise ParameterError("shares must be one non-negative value per shard")
+        total = float(shares.sum())
+        if total <= 0.0:
+            shares = np.full(self.plan.n_shards, 1.0 / self.plan.n_shards)
+            total = 1.0
+            self._shares = shares
+        else:
+            self._shares = shares / total
+        self._cum = np.cumsum(self._shares)
+        self._cum[-1] = 1.0
+
+    def offered_rate(self, now: float) -> float:
+        """Aggregate offered generic rate across shard estimators."""
+        return sum(rt._offered_estimate(now) for rt in self.runtimes)
+
+    def rebalance(self, now: float) -> None:
+        """One coordinator tick: global re-solve, push shares and hints.
+
+        Runs the hierarchical solve on the full group at the shards'
+        aggregated rate estimate (warm-started from the previous tick's
+        per-shard multipliers), adopts the resulting shard load shares
+        for arrival splitting, and primes every shard controller's
+        ``phi_hint`` with the converged global multiplier.
+        """
+        group = self.plan.group
+        lam = min(
+            self.offered_rate(now),
+            self.runtimes[0].config.utilization_cap * group.max_generic_rate,
+        )
+        kwargs = {} if self._tol is None else {"tol": self._tol}
+        result = solve_sharded(
+            group,
+            lam,
+            self.runtimes[0].config.discipline,
+            phi_hint=self._shard_phi,
+            plan=self.plan,
+            **kwargs,
+        )
+        self._shard_phi = dict(result.metadata["shard_phi"])
+        loads = np.asarray(result.metadata["shard_loads"], dtype=float)
+        self.set_shares(loads)
+        for shard_index, runtime in enumerate(self.runtimes):
+            runtime.controller.prime_phi_hint(self._shard_phi[shard_index])
+        self.rebalances += 1
+        o = get_obs()
+        if o.enabled:
+            o.registry.counter(
+                "repro_shard_rebalances_total",
+                "Coordinator global re-solves pushed to shard dispatchers",
+            ).inc()
+
+    # -- engine-facing hook trio -----------------------------------------------------
+
+    def observe_arrival(self, now: float) -> None:
+        """Draw the owning shard, then feed that shard's estimator."""
+        self._pending = int(
+            np.searchsorted(self._cum, self._rng.random(), side="right")
+        )
+        self.runtimes[self._pending].observe_arrival(now)
+
+    def route(self, servers=None) -> int:
+        """Delegate to the pending shard; map its pick to global index."""
+        shard = self._pending
+        local = self.runtimes[shard].route()
+        if local < 0:
+            return -1
+        return int(self._members[shard][local])
+
+    def observe_completion(self, task: SimTask, now: float) -> None:
+        """Forward the completion to the runtime owning the server."""
+        self.runtimes[int(self._owner[task.server_index])].observe_completion(
+            task, now
+        )
+
+    # -- views -----------------------------------------------------------------------
+
+    def current_weights(self) -> np.ndarray:
+        """Full-group routing fractions implied by shares × inner splits."""
+        per_shard = [
+            share * runtime.current_weights
+            for share, runtime in zip(self._shares, self.runtimes)
+        ]
+        return self.plan.expand(per_shard)
+
+
+@dataclass(frozen=True)
+class ShardedRuntimeReport:
+    """Output of one multi-dispatcher closed-loop run."""
+
+    #: Post-warmup simulation statistics.
+    sim: SimulationResult
+    #: The partition the run was sharded by.
+    plan: ShardPlan
+    #: The composite dispatcher (shares, rebalance count, inner runtimes).
+    dispatcher: ShardedDispatcher
+    #: The arrival trace the run was driven with.
+    trace: RateTrace
+    #: Coordinator ticks performed (excluding the bootstrap solve).
+    rebalances: int
+    #: Final per-shard arrival shares.
+    shard_shares: tuple[float, ...]
+    #: Per-shard recovery directories (empty when durability is off).
+    recovery_dirs: tuple[str, ...] = field(default=())
+
+    @property
+    def runtimes(self) -> tuple[LoadDistributionRuntime, ...]:
+        """The per-shard runtimes, with final health/metrics state."""
+        return self.dispatcher.runtimes
+
+
+def run_sharded_closed_loop(
+    group: BladeServerGroup,
+    trace: RateTrace,
+    config: RuntimeConfig = RuntimeConfig(),
+    shard_config: ShardConfig = ShardConfig(),
+    *,
+    horizon: float,
+    warmup: float = 0.0,
+    seed: int | None = 0,
+    rebalance_period: float | None = None,
+    collect_tasks: bool = True,
+) -> ShardedRuntimeReport:
+    """Drive ``n_shards`` concurrent shard dispatchers, closed loop.
+
+    Partitions ``group`` per ``shard_config``, bootstraps the global
+    split with one hierarchical solve at ``trace.initial_rate``, then
+    runs one :class:`~repro.runtime.loop.LoadDistributionRuntime` per
+    shard against the discrete-event engine, with the coordinator
+    re-solving globally every ``rebalance_period`` of simulated time
+    (default: the runtime's ``resolve_period`` when finite, else a
+    tenth of the horizon).
+
+    When ``config.recovery.enabled``, each shard journals and
+    checkpoints under ``<recovery.directory>/shard-XX/`` — concurrent
+    generations that never share files, finalized at run end.
+
+    Returns a :class:`ShardedRuntimeReport`; the per-shard runtimes
+    (metrics, resolve logs, recovery state) ride along on the
+    dispatcher.
+    """
+    if horizon <= 0.0:
+        raise ParameterError(f"horizon must be > 0, got {horizon}")
+    plan = partition_group(group, shard_config)
+    solver_kwargs = {} if config.solver_tol is None else {"tol": config.solver_tol}
+    bootstrap = solve_sharded(
+        group,
+        trace.initial_rate,
+        config.discipline,
+        plan=plan,
+        **solver_kwargs,
+    )
+    loads = np.asarray(bootstrap.metadata["shard_loads"], dtype=float)
+
+    runtimes = []
+    recovery_dirs = []
+    for shard in plan.shards:
+        shard_cfg = _shard_runtime_config(config, shard.index)
+        if shard_cfg.recovery.enabled:
+            recovery_dirs.append(shard_cfg.recovery.directory)
+        # A shard the bootstrap split left idle still needs a positive
+        # design rate to seed its estimator prior and first local solve.
+        initial = max(float(loads[shard.index]), 1e-9 * shard.capacity)
+        runtimes.append(LoadDistributionRuntime(shard.group, initial, shard_cfg))
+        runtimes[-1].controller.prime_phi_hint(
+            bootstrap.metadata["shard_phi"][shard.index]
+        )
+
+    dispatcher = ShardedDispatcher(
+        plan,
+        runtimes,
+        loads,
+        np.random.default_rng(
+            np.random.SeedSequence([0x5AD, config.seed]).generate_state(1)[0]
+        ),
+        solver_tol=config.solver_tol,
+    )
+
+    if rebalance_period is None:
+        rebalance_period = (
+            config.resolve_period
+            if np.isfinite(config.resolve_period)
+            else horizon / 10.0
+        )
+    controls = []
+    if rebalance_period > 0.0 and np.isfinite(rebalance_period):
+        tick = rebalance_period
+        while tick < horizon:
+            controls.append((tick, _rebalance_action(dispatcher)))
+            tick += rebalance_period
+
+    sim_config = SimulationConfig(
+        total_generic_rate=trace.initial_rate,
+        fractions=tuple(dispatcher.current_weights()),
+        discipline=Discipline.coerce(config.discipline),
+        horizon=horizon,
+        warmup=warmup,
+        seed=seed,
+    )
+    sim = GroupSimulation(
+        group,
+        sim_config,
+        dispatcher=dispatcher,
+        arrivals=TracedPoissonArrivals(trace),
+        arrival_listener=dispatcher.observe_arrival,
+        completion_listener=dispatcher.observe_completion,
+        controls=controls,
+        collect_tasks=collect_tasks,
+    )
+    result = sim.run()
+    for runtime in runtimes:
+        if runtime._recovery is not None:
+            runtime._recovery.finalize()
+    return ShardedRuntimeReport(
+        sim=result,
+        plan=plan,
+        dispatcher=dispatcher,
+        trace=trace,
+        rebalances=dispatcher.rebalances,
+        shard_shares=tuple(float(s) for s in dispatcher.shares),
+        recovery_dirs=tuple(recovery_dirs),
+    )
+
+
+def _rebalance_action(dispatcher: ShardedDispatcher):
+    def action(sim, now: float) -> None:
+        dispatcher.rebalance(now)
+
+    return action

@@ -1,0 +1,259 @@
+"""Sparse candidate pruning: top-k server sets per shard, with a
+measured optimality-gap report.
+
+The heterogeneity-aware dispatch results of Gardner et al. 2020
+(PAPERS.md) say a dispatcher rarely needs its whole candidate pool: at
+the optimum most of the load lands on the servers whose *marginal cost
+at zero load* is smallest, and the paper's water-filling parks the
+expensive tail outright.  Zhao & Mukherjee 2023 (PAPERS.md) exploit the
+same structure by pruning the rate matrix to its dominant entries.
+This module applies both ideas to the sharded control plane:
+
+* :func:`rank_servers` orders every shard's members by their zero-load
+  marginal ``g_i(0)`` — the exact quantity the solver compares against
+  the multiplier ``phi`` to decide parking, so the ranking agrees with
+  the optimizer's own preference order;
+* :func:`candidate_sets` keeps each shard's ``top_k`` cheapest servers
+  (rank prefixes) unioned with a ``k``-independent global feasibility
+  floor, so candidate sets are *nested* in ``k`` and the optimality gap
+  is monotone non-increasing by construction;
+* :func:`pruning_gap_report` measures the relative excess mean response
+  time of the pruned sharded solve against the flat Newton solve over a
+  ``k`` sweep — the number the ISSUE's acceptance criteria track in
+  ``BENCH_solver_scaling.json``.
+
+Pruning is *approximate only through the candidate sets*: within the
+kept servers the hierarchical solve is still exact, so the gap is
+purely the cost of the servers a dispatcher no longer sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bisection import DEFAULT_TOL, STABILITY_MARGIN
+from ..core.newton import marginal_cost_and_slope_vec
+from ..core.response import Discipline
+from .partition import ShardConfig, ShardPlan
+
+__all__ = [
+    "rank_servers",
+    "candidate_sets",
+    "PruningGapEntry",
+    "PruningGapReport",
+    "pruning_gap_report",
+]
+
+#: Capacity headroom of the feasibility floor: the kept fleet can carry
+#: at least ``(1 + headroom) * total_rate``, bounding the utilization of
+#: a floor-dominated pruned system away from 1.
+_FLOOR_HEADROOM = 0.05
+
+
+def _zero_load_marginals(
+    plan: ShardPlan, total_rate: float, disc: Discipline
+) -> np.ndarray:
+    """``g_i(0)`` for every server of the plan's group (one batched call)."""
+    group = plan.group
+    ms = group.sizes.astype(np.int64)
+    xbars = group.xbars.astype(float)
+    specials = group.special_rates.astype(float)
+    g0, _ = marginal_cost_and_slope_vec(
+        ms, xbars, specials, np.zeros(group.n), total_rate, disc
+    )
+    return g0
+
+
+def rank_servers(
+    plan: ShardPlan,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+) -> list[np.ndarray]:
+    """Per-shard *local* index orderings, cheapest zero-load marginal first.
+
+    The ranking is the optimizer's own: the water-filling activates
+    servers in increasing ``g_i(0)`` as the multiplier rises, so a rank
+    prefix is exactly "the servers the optimum would touch first".
+    Ties (identical hardware) break by local index, keeping the
+    ordering deterministic.
+    """
+    disc = Discipline.coerce(discipline)
+    g0 = _zero_load_marginals(plan, total_rate, disc)
+    return [
+        np.argsort(g0[np.asarray(shard.members)], kind="stable")
+        for shard in plan.shards
+    ]
+
+
+def candidate_sets(
+    plan: ShardPlan,
+    total_rate: float,
+    discipline: Discipline | str = Discipline.FCFS,
+    top_k: int | None = None,
+) -> list[np.ndarray]:
+    """Kept *local* indices per shard (sorted ascending) under ``top_k``.
+
+    ``top_k=None`` keeps everything (the sharded solve is then exact to
+    solver tolerance).  Otherwise each shard keeps the prefix of its
+    :func:`rank_servers` ordering, unioned with the *feasibility floor*
+    — the minimal prefix of the global cheapest-first order whose
+    stability-capped capacity clears ``total_rate`` with 5% headroom,
+    the same for every ``k``.  Prefixes grow with ``k`` and the floor never
+    moves, so candidate sets are nested in ``k``, which is what makes
+    the measured optimality gap monotone non-increasing.
+    """
+    disc = Discipline.coerce(discipline)
+    if top_k is None:
+        return [np.arange(shard.n) for shard in plan.shards]
+    g0 = _zero_load_marginals(plan, total_rate, disc)
+    orders = rank_servers(plan, total_rate, disc)
+    caps = plan.group.spare_capacities
+    hard = np.where(caps > 0.0, (1.0 - STABILITY_MARGIN) * caps, 0.0)
+    members = [np.asarray(shard.members) for shard in plan.shards]
+    # Feasibility floor: the minimal prefix of the *global* g0-ascending
+    # order whose stability-capped capacity clears the offered load with
+    # ``_FLOOR_HEADROOM`` to spare.  A k too small to carry lambda'
+    # would otherwise leave the pruned system saturated even though the
+    # full fleet is fine (and a floor with zero headroom pins its
+    # marginal server at utilization ~1, exploding the pruned T').  The
+    # floor depends only on (group, lambda'), never on k, so
+    # kept(k) = per-shard prefix(k) | floor stays nested in k — a
+    # sequential "admit until feasible" expansion would not be (small-k
+    # sets pick up cheap extras the larger prefixes drop), breaking the
+    # gap curve's monotonicity.
+    global_order = np.argsort(g0, kind="stable")
+    running = np.cumsum(hard[global_order])
+    target = (1.0 + _FLOOR_HEADROOM) * total_rate
+    need = int(np.searchsorted(running, target, side="right")) + 1
+    floor = global_order[: min(need, global_order.size)]
+    assignment = plan.assignment
+    kept = []
+    for s in range(plan.n_shards):
+        local_of = np.empty(plan.group.n, dtype=np.int64)
+        local_of[members[s]] = np.arange(members[s].size)
+        extras = local_of[floor[assignment[floor] == s]]
+        prefix = orders[s][: min(top_k, len(orders[s]))]
+        kept.append(np.union1d(prefix, extras))
+    return kept
+
+
+@dataclass(frozen=True)
+class PruningGapEntry:
+    """One point of the measured gap curve.
+
+    Attributes
+    ----------
+    top_k:
+        The per-shard candidate budget this point was solved with.
+    candidates:
+        Total servers actually kept across shards (>= ``shards * k``
+        only when the feasibility expansion had to admit extras).
+    t_prime:
+        Mean response time of the pruned sharded solve.
+    gap:
+        Relative excess over the flat optimum,
+        ``(t_prime - flat_t_prime) / flat_t_prime`` (>= 0 up to solver
+        tolerance; monotone non-increasing in ``top_k``).
+    """
+
+    top_k: int
+    candidates: int
+    t_prime: float
+    gap: float
+
+    def to_dict(self) -> dict:
+        return {
+            "top_k": self.top_k,
+            "candidates": self.candidates,
+            "t_prime": self.t_prime,
+            "gap": self.gap,
+        }
+
+
+@dataclass(frozen=True)
+class PruningGapReport:
+    """Measured optimality-gap curve of top-k pruning vs the flat solve.
+
+    ``entries`` is ordered by increasing ``top_k``; ``exact_gap`` is
+    the pruning-off (full candidate sets) sharded solve's gap, the
+    number the acceptance criteria bound below 0.1%.
+    """
+
+    n: int
+    shards: int
+    strategy: str
+    total_rate: float
+    flat_t_prime: float
+    exact_gap: float
+    entries: tuple[PruningGapEntry, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "shards": self.shards,
+            "strategy": self.strategy,
+            "total_rate": self.total_rate,
+            "flat_t_prime": self.flat_t_prime,
+            "exact_gap": self.exact_gap,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+
+def pruning_gap_report(
+    group,
+    total_rate: float,
+    ks: tuple[int, ...],
+    *,
+    shards: int = 4,
+    strategy: str = "contiguous",
+    discipline: Discipline | str = Discipline.FCFS,
+    tol: float = DEFAULT_TOL,
+) -> PruningGapReport:
+    """Measure the pruning optimality gap over a ``top_k`` sweep.
+
+    Solves the group once flat (Newton backend), once sharded with
+    pruning off, and once per ``k``; every gap is reported relative to
+    the flat optimum.  Used by ``benchmarks/trajectory.py`` to extend
+    the committed ``BENCH_solver_scaling.json`` and asserted monotone
+    by the test suite.
+    """
+    from ..core.newton import solve_newton
+    from .coordinator import solve_sharded
+
+    disc = Discipline.coerce(discipline)
+    flat = solve_newton(group, total_rate, disc, tol=tol)
+    flat_t = float(flat.mean_response_time)
+
+    def _gap(t_prime: float) -> float:
+        return (float(t_prime) - flat_t) / flat_t
+
+    exact = solve_sharded(
+        group,
+        total_rate,
+        disc,
+        tol=tol,
+        config=ShardConfig(shards=shards, strategy=strategy),
+    )
+    entries = []
+    for k in sorted(set(int(k) for k in ks)):
+        cfg = ShardConfig(shards=shards, strategy=strategy, top_k=k)
+        pruned = solve_sharded(group, total_rate, disc, tol=tol, config=cfg)
+        entries.append(
+            PruningGapEntry(
+                top_k=k,
+                candidates=int(pruned.metadata["candidates"]),
+                t_prime=float(pruned.mean_response_time),
+                gap=_gap(pruned.mean_response_time),
+            )
+        )
+    return PruningGapReport(
+        n=group.n,
+        shards=min(shards, group.n),
+        strategy=strategy,
+        total_rate=float(total_rate),
+        flat_t_prime=flat_t,
+        exact_gap=_gap(exact.mean_response_time),
+        entries=tuple(entries),
+    )

@@ -11,7 +11,11 @@ convention.
 bisection-family backends, warm-starts each point's multiplier bracket
 from the previous point's converged ``phi`` instead of re-doubling from
 the seed — ``phi`` varies smoothly along a sweep, so the previous value
-is an excellent bracket anchor.
+is an excellent bracket anchor.  Sharded sweeps (``method="sharded"``)
+carry a *dict* of per-shard multipliers between points instead of one
+scalar, and partition the fleet once for the whole grid; both behaviours
+live in the facade (:func:`repro.solve_sweep`) this wrapper delegates
+to.
 """
 
 from __future__ import annotations

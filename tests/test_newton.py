@@ -190,6 +190,45 @@ class TestWarmStart:
 
         assert "newton" in warm_startable_methods()
 
+    @pytest.mark.parametrize("factor", [1e-18, 1e30])
+    def test_hint_outside_feasible_band_is_reanchored(self, paper_group, factor):
+        # A hint below min g_i(0) (everything would park) or above
+        # max g_i(cap) (everything would pin) carries no usable
+        # information; the solver must detect it against the
+        # precomputed band and fall back to the cold seed — identical
+        # optimum, identical iteration count, no safeguarded walk.
+        cold = solve_newton(paper_group, EXAMPLE_TOTAL_RATE)
+        warm = solve_newton(
+            paper_group, EXAMPLE_TOTAL_RATE, phi_hint=cold.phi * factor
+        )
+        assert float(
+            np.max(np.abs(warm.generic_rates - cold.generic_rates))
+        ) <= 1e-9
+        assert warm.iterations == cold.iterations
+
+    def test_stale_in_band_hint_recovers_geometrically(self, paper_group):
+        # gcap diverges with the stability margin, so the feasible band
+        # spans ~12 decades and a wildly stale hint can still be
+        # in-band.  The geometric safeguard halves the *exponent*
+        # range per rejected step, so recovery is logarithmic in the
+        # hint's error, not linear.
+        cold = solve_newton(paper_group, EXAMPLE_TOTAL_RATE)
+        warm = solve_newton(
+            paper_group, EXAMPLE_TOTAL_RATE, phi_hint=cold.phi * 1e6
+        )
+        assert float(
+            np.max(np.abs(warm.generic_rates - cold.generic_rates))
+        ) <= 1e-9
+        assert warm.iterations <= 20
+
+    def test_nonsense_hints_fall_back_to_cold_start(self, paper_group):
+        cold = solve_newton(paper_group, EXAMPLE_TOTAL_RATE)
+        for hint in (float("nan"), float("inf"), -1.0, 0.0):
+            warm = solve_newton(paper_group, EXAMPLE_TOTAL_RATE, phi_hint=hint)
+            assert float(
+                np.max(np.abs(warm.generic_rates - cold.generic_rates))
+            ) <= 1e-9
+
 
 class TestFacadeAnchors:
     """Tables 1-2 seven-decimal reproduction through repro.solve."""

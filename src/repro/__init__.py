@@ -94,6 +94,8 @@ from .shard import (
     ShardConfig,
     ShardedRuntimeReport,
     ShardPlan,
+    ShardSupervisor,
+    ShardSupervisorConfig,
     partition_group,
     run_sharded_closed_loop,
     solve_sharded,
@@ -128,6 +130,8 @@ __all__ = [
     "solve_sharded",
     "run_sharded_closed_loop",
     "ShardedRuntimeReport",
+    "ShardSupervisor",
+    "ShardSupervisorConfig",
     # Fault injection.
     "FaultSpec",
     "FaultSchedule",

@@ -44,7 +44,15 @@ Targeted injection::
     print(out.metrics.fallback_depth.by_source)
 """
 
-from .chaos import ChaosRunRecord, ChaosSuiteReport, dump_chaos_artifacts, run_chaos
+from .chaos import (
+    ChaosRunRecord,
+    ChaosSuiteReport,
+    ShardChaosRunRecord,
+    ShardChaosSuiteReport,
+    dump_chaos_artifacts,
+    run_chaos,
+    run_sharded_chaos,
+)
 from .injectors import (
     FaultPlan,
     FaultyRateEstimator,
@@ -55,6 +63,7 @@ from .schedule import (
     ESTIMATOR_FAULT_KINDS,
     FAULT_KINDS,
     HEALTH_FAULT_KINDS,
+    SHARD_FAULT_KINDS,
     SOLVER_FAULT_KINDS,
     FaultSchedule,
     FaultSpec,
@@ -71,6 +80,7 @@ __all__ = [
     "ESTIMATOR_FAULT_KINDS",
     "FAULT_KINDS",
     "HEALTH_FAULT_KINDS",
+    "SHARD_FAULT_KINDS",
     "SOLVER_FAULT_KINDS",
     "ChaosRunRecord",
     "ChaosSuiteReport",
@@ -79,6 +89,8 @@ __all__ = [
     "FaultSpec",
     "FaultyRateEstimator",
     "ResilienceSupervisor",
+    "ShardChaosRunRecord",
+    "ShardChaosSuiteReport",
     "SolverFaultInjector",
     "SupervisedOutcome",
     "SupervisorConfig",
@@ -87,4 +99,5 @@ __all__ = [
     "proportional_split",
     "random_fault_schedule",
     "run_chaos",
+    "run_sharded_chaos",
 ]

@@ -17,6 +17,16 @@ The per-seed :class:`ChaosRunRecord` and the aggregate
 :class:`ChaosSuiteReport` are plain data with ``to_dict`` methods, so a
 CI job can archive the full evidence trail as a JSON artifact
 (:func:`dump_chaos_artifacts`).
+
+:func:`run_sharded_chaos` is the fleet-scale counterpart: it drives
+:func:`~repro.shard.runtime.run_sharded_closed_loop` under randomized
+schedules that add shard-targeted faults (``shard-crash`` /
+``shard-stall`` / ``shard-journal-corrupt``) and coordinator solver
+faults, and audits the :class:`~repro.shard.supervisor.ShardSupervisor`
+contract: no escaped exceptions, failover within the heartbeat bound,
+bounded shed during the dark window, and tail re-convergence of the
+healed fleet.  :class:`ShardChaosSuiteReport` is duck-compatible with
+:func:`dump_chaos_artifacts`.
 """
 
 from __future__ import annotations
@@ -39,14 +49,34 @@ from ..recovery.journal import atomic_write_json
 from ..runtime.loop import RuntimeConfig, run_closed_loop
 from ..workloads.traces import RateTrace
 from .injectors import FaultPlan
-from .schedule import FaultSchedule, random_fault_schedule
+from .schedule import SHARD_FAULT_KINDS, FaultSchedule, random_fault_schedule
 
 __all__ = [
     "ChaosRunRecord",
     "ChaosSuiteReport",
+    "ShardChaosRunRecord",
+    "ShardChaosSuiteReport",
     "run_chaos",
+    "run_sharded_chaos",
     "dump_chaos_artifacts",
 ]
+
+
+def _replication_ci(
+    means: np.ndarray, confidence: float
+) -> tuple[float, float]:
+    """Replication confidence interval over per-seed tail means."""
+    from scipy import stats as scipy_stats
+
+    if means.size < 2:
+        raise ParameterError("need >= 2 completed runs for a replication CI")
+    center = float(np.mean(means))
+    half = float(
+        scipy_stats.t.ppf(0.5 + confidence / 2.0, df=means.size - 1)
+        * np.std(means, ddof=1)
+        / math.sqrt(means.size)
+    )
+    return center - half, center + half
 
 
 @dataclass(frozen=True)
@@ -390,6 +420,381 @@ def run_chaos(
             )
         )
     return ChaosSuiteReport(records=tuple(records), analytic_t_prime=analytic)
+
+
+@dataclass(frozen=True)
+class ShardChaosRunRecord:
+    """Audit of one seeded fleet-scale chaos run."""
+
+    #: The seed (drives the schedule, the injections, and the sim).
+    seed: int
+    #: The schedule the run was subjected to (declarative form).
+    schedule: dict
+    #: Whether the sharded loop ran to the horizon without an exception.
+    completed: bool
+    #: The escaped exception, when ``completed`` is False.
+    error: str | None
+    #: Shards the run was partitioned into.
+    n_shards: int = 0
+    #: Shards the heartbeat detector declared dead and failed over.
+    failovers: int = 0
+    #: Shards spliced back into the fleet (restore or stall-end).
+    restores: int = 0
+    #: Mid-run shard crash recoveries (restores backed by a
+    #: :class:`~repro.recovery.resume.RestoreReport`).
+    crashes: int = 0
+    #: Journal records replayed across those shard recoveries.
+    journal_replayed: int = 0
+    #: ``(shard, latency)`` per detected failover: simulated time from
+    #: the fault's start to the dead declaration.
+    failover_latencies: tuple = ()
+    #: Largest detection latency observed (NaN when none detected).
+    max_failover_latency: float = math.nan
+    #: Coordinator circuit-breaker openings.
+    breaker_opens: int = 0
+    #: Failed coordinator re-solve attempts (pre-retry granularity).
+    rebalance_failures: int = 0
+    #: Fraction of offered arrivals shed over the whole run, counting
+    #: both per-shard degraded-mode shedding and failover shed.
+    shed_fraction_observed: float = 0.0
+    #: Arrivals the split sent to a dead shard before failover re-split.
+    failover_shed: int = 0
+    #: Fleet incident totals per kind.
+    incident_counts: dict = field(default_factory=dict)
+    #: Retained fleet incident records (dict form), for artifacts.
+    incidents: tuple = ()
+    #: Mean generic ``T'`` over the post-fault tail window.
+    tail_mean: float = math.nan
+    #: Tasks the tail mean averages over.
+    tail_count: int = 0
+    #: The analytic optimum of the healed fleet.
+    analytic_t_prime: float = math.nan
+    #: ``|tail_mean - analytic| / analytic``.
+    tail_relative_error: float = math.nan
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for CI artifacts."""
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "completed": self.completed,
+            "error": self.error,
+            "n_shards": self.n_shards,
+            "failovers": self.failovers,
+            "restores": self.restores,
+            "crashes": self.crashes,
+            "journal_replayed": self.journal_replayed,
+            "failover_latencies": [list(x) for x in self.failover_latencies],
+            "max_failover_latency": self.max_failover_latency,
+            "breaker_opens": self.breaker_opens,
+            "rebalance_failures": self.rebalance_failures,
+            "shed_fraction_observed": self.shed_fraction_observed,
+            "failover_shed": self.failover_shed,
+            "incident_counts": dict(self.incident_counts),
+            "incidents": list(self.incidents),
+            "tail_mean": self.tail_mean,
+            "tail_count": self.tail_count,
+            "analytic_t_prime": self.analytic_t_prime,
+            "tail_relative_error": self.tail_relative_error,
+        }
+
+
+@dataclass(frozen=True)
+class ShardChaosSuiteReport:
+    """Aggregate verdict over every seeded fleet chaos run.
+
+    Duck-compatible with :func:`dump_chaos_artifacts` (``to_dict``,
+    ``records`` with per-seed ``seed`` / ``incidents``).
+    """
+
+    records: tuple[ShardChaosRunRecord, ...]
+    analytic_t_prime: float
+
+    @property
+    def n_runs(self) -> int:
+        """Number of seeded runs in the suite."""
+        return len(self.records)
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether every run finished without an escaped exception."""
+        return all(r.completed for r in self.records)
+
+    @property
+    def failed_seeds(self) -> tuple[int, ...]:
+        """Seeds whose runs raised."""
+        return tuple(r.seed for r in self.records if not r.completed)
+
+    @property
+    def total_failovers(self) -> int:
+        """Dead declarations summed over all runs."""
+        return sum(r.failovers for r in self.records)
+
+    @property
+    def total_restores(self) -> int:
+        """Splice-backs summed over all runs."""
+        return sum(r.restores for r in self.records)
+
+    @property
+    def total_crashes(self) -> int:
+        """Shard crash/restore cycles summed over all runs."""
+        return sum(r.crashes for r in self.records)
+
+    @property
+    def max_failover_latency(self) -> float:
+        """Worst detection latency across the suite (NaN when none)."""
+        latencies = [
+            r.max_failover_latency
+            for r in self.records
+            if not math.isnan(r.max_failover_latency)
+        ]
+        return max(latencies) if latencies else math.nan
+
+    @property
+    def max_shed_fraction(self) -> float:
+        """Worst per-run shed fraction across completed runs."""
+        done = [r.shed_fraction_observed for r in self.records if r.completed]
+        return max(done) if done else math.nan
+
+    @property
+    def tail_means(self) -> np.ndarray:
+        """Post-fault tail means of the completed runs."""
+        return np.array(
+            [r.tail_mean for r in self.records if r.completed], dtype=float
+        )
+
+    def tail_confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Replication CI over the per-seed post-fault tail means."""
+        return _replication_ci(self.tail_means, confidence)
+
+    def reconverged(self, confidence: float = 0.95) -> bool:
+        """Whether the analytic ``T'`` lies inside the replication CI."""
+        lo, hi = self.tail_confidence_interval(confidence)
+        return lo <= self.analytic_t_prime <= hi
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for CI artifacts."""
+        return {
+            "n_runs": self.n_runs,
+            "all_completed": self.all_completed,
+            "failed_seeds": list(self.failed_seeds),
+            "total_failovers": self.total_failovers,
+            "total_restores": self.total_restores,
+            "total_crashes": self.total_crashes,
+            "max_failover_latency": self.max_failover_latency,
+            "analytic_t_prime": self.analytic_t_prime,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def render(self) -> str:
+        """Human-readable per-seed summary table."""
+        lines = [
+            f"{'seed':>5} {'ok':>3} {'fail/rest':>9} {'crash':>5} "
+            f"{'lat':>7} {'shed':>6} {'tail T_':>9} {'rel.err':>8}"
+        ]
+        for r in self.records:
+            lines.append(
+                f"{r.seed:>5} {'y' if r.completed else 'N':>3} "
+                f"{r.failovers:>4}/{r.restores:<4} {r.crashes:>5} "
+                f"{r.max_failover_latency:>7.1f} "
+                f"{r.shed_fraction_observed:>6.3f} "
+                f"{r.tail_mean:>9.4f} {r.tail_relative_error:>8.4f}"
+            )
+        lines.append(f"analytic T' = {self.analytic_t_prime:.5f}")
+        return "\n".join(lines)
+
+
+def _fleet_shed_fraction(report) -> tuple[float, int]:
+    """Observed shed fraction of one sharded run, plus failover shed.
+
+    Arrivals drawn for a dead shard never reach that shard's estimator
+    or counters, so the denominator is the live shards' offered
+    arrivals plus the failover-shed count the dispatcher kept.
+    """
+    dispatcher = report.dispatcher
+    arrivals = sum(rt.metrics.counters.arrivals for rt in report.runtimes)
+    shed = sum(rt.metrics.counters.shed for rt in report.runtimes)
+    denominator = arrivals + dispatcher.failover_shed
+    if denominator == 0:
+        return 0.0, dispatcher.failover_shed
+    return (
+        (shed + dispatcher.failover_shed) / denominator,
+        dispatcher.failover_shed,
+    )
+
+
+def _failover_latencies(schedule: FaultSchedule, supervisor) -> tuple:
+    """``(shard, latency)`` per shard fault whose failover was detected.
+
+    Stalls shorter than the detection window and atomic kill+restores
+    legitimately produce no declaration, so not every shard-targeted
+    spec yields an entry.
+    """
+    declared = list(supervisor.failovers)
+    out = []
+    for spec in schedule.of_kinds(SHARD_FAULT_KINDS):
+        target = int(spec.params["shard"])
+        for when, shard in declared:
+            if shard == target and when >= spec.start:
+                out.append((target, float(when - spec.start)))
+                break
+    return tuple(out)
+
+
+def run_sharded_chaos(
+    group: BladeServerGroup,
+    rate: float,
+    *,
+    seeds: Sequence[int],
+    horizon: float,
+    config: RuntimeConfig | None = None,
+    shard_config=None,
+    supervisor_config=None,
+    schedule_factory: Callable[[int], FaultSchedule] | None = None,
+    settle: float | None = None,
+    quiet_tail: float = 0.35,
+    max_faults: int = 4,
+    recovery_dir: str | None = None,
+) -> ShardChaosSuiteReport:
+    """Run the fleet chaos acceptance suite and return the audited report.
+
+    One :func:`~repro.shard.runtime.run_sharded_closed_loop` run per
+    seed, each under a randomized schedule that combines server health
+    faults with shard-targeted faults (``allow_shard_faults=True``) and
+    the occasional coordinator solver-fault window, all supervised by a
+    :class:`~repro.shard.supervisor.ShardSupervisor`.
+
+    Parameters mirror :func:`run_chaos`; the sharded additions:
+
+    shard_config:
+        The :class:`~repro.shard.partition.ShardConfig` each run is
+        partitioned by (default: four contiguous shards).
+    supervisor_config:
+        :class:`~repro.shard.supervisor.ShardSupervisorConfig` tuning
+        for the heartbeat detector, retries, and circuit breaker.
+    recovery_dir:
+        Base directory for the per-seed recovery trees shard crashes
+        need (each shard journals under ``seed-N/shard-XX/``).  Defaults
+        to a fresh temporary directory; recovery is auto-enabled for
+        any seed whose schedule carries a crash-ish shard fault.
+
+    ``allow_cluster_down`` is deliberately not exposed: a whole-cluster
+    outage window is a flat-loop scenario, and the fleet detector would
+    (correctly) declare every shard dead — a different acceptance
+    contract than the failover one this suite audits.
+    """
+    from ..shard.partition import ShardConfig, partition_group
+    from ..shard.runtime import run_sharded_closed_loop
+
+    if config is None:
+        config = RuntimeConfig(router="alias")
+    if shard_config is None:
+        shard_config = ShardConfig(shards=4)
+    plan = partition_group(group, shard_config)
+    analytic = dispatch(group, rate, config.discipline).mean_response_time
+    records: list[ShardChaosRunRecord] = []
+    recovery_base = recovery_dir
+    for seed in seeds:
+        if schedule_factory is not None:
+            schedule = schedule_factory(seed)
+        else:
+            schedule = random_fault_schedule(
+                group.n,
+                horizon,
+                seed,
+                quiet_tail=quiet_tail,
+                max_faults=max_faults,
+                allow_cluster_down=False,
+                allow_shard_faults=True,
+                n_shards=plan.n_shards,
+            )
+        fault_plan = FaultPlan(schedule)
+        needs_recovery = any(
+            s.kind != "shard-stall" for s in fault_plan.shard_specs
+        )
+        run_config = config
+        if needs_recovery and not config.recovery.enabled:
+            if recovery_base is None:
+                recovery_base = tempfile.mkdtemp(prefix="repro-fleet-chaos-")
+            run_config = dataclasses.replace(
+                config,
+                recovery=RecoveryConfig(
+                    enabled=True,
+                    directory=os.path.join(recovery_base, f"seed-{seed}"),
+                ),
+            )
+        try:
+            out = run_sharded_closed_loop(
+                group,
+                RateTrace.constant(rate),
+                run_config,
+                shard_config,
+                horizon=horizon,
+                warmup=0.0,
+                seed=seed,
+                fault_plan=fault_plan,
+                supervisor_config=supervisor_config,
+                collect_tasks=True,
+            )
+        except Exception as exc:  # noqa: BLE001 - the suite must report, not die
+            records.append(
+                ShardChaosRunRecord(
+                    seed=seed,
+                    schedule=schedule.to_dict(),
+                    completed=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    n_shards=plan.n_shards,
+                    analytic_t_prime=analytic,
+                )
+            )
+            continue
+        fault_end = schedule.last_fault_end
+        pad = settle if settle is not None else 0.3 * (horizon - fault_end)
+        tail_start = min(fault_end + pad, horizon * 0.95)
+        tail = [
+            t.response_time
+            for t in out.sim.task_log
+            if t.task_class.name == "GENERIC" and t.arrival_time >= tail_start
+        ]
+        tail_mean = float(np.mean(tail)) if tail else math.nan
+        supervisor = out.supervisor
+        shed_fraction, failover_shed = _fleet_shed_fraction(out)
+        latencies = _failover_latencies(schedule, supervisor)
+        fleet = supervisor.metrics
+        records.append(
+            ShardChaosRunRecord(
+                seed=seed,
+                schedule=schedule.to_dict(),
+                completed=True,
+                error=None,
+                n_shards=plan.n_shards,
+                failovers=fleet.counters.failovers,
+                restores=fleet.counters.restores,
+                crashes=len(out.restores),
+                journal_replayed=sum(
+                    r.replayed_records for r in out.restores
+                ),
+                failover_latencies=latencies,
+                max_failover_latency=(
+                    max(lat for _, lat in latencies)
+                    if latencies
+                    else math.nan
+                ),
+                breaker_opens=fleet.counters.breaker_opens,
+                rebalance_failures=fleet.counters.rebalance_failures,
+                shed_fraction_observed=shed_fraction,
+                failover_shed=failover_shed,
+                incident_counts=dict(fleet.incidents.counts),
+                incidents=tuple(r.to_dict() for r in fleet.incidents),
+                tail_mean=tail_mean,
+                tail_count=len(tail),
+                analytic_t_prime=analytic,
+                tail_relative_error=(
+                    abs(tail_mean - analytic) / analytic if tail else math.nan
+                ),
+            )
+        )
+    return ShardChaosSuiteReport(records=tuple(records), analytic_t_prime=analytic)
 
 
 def dump_chaos_artifacts(report: ChaosSuiteReport, directory: str) -> list[str]:

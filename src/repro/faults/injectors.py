@@ -33,6 +33,7 @@ from .schedule import (
     CRASH_FAULT_KINDS,
     ESTIMATOR_FAULT_KINDS,
     HEALTH_FAULT_KINDS,
+    SHARD_FAULT_KINDS,
     SOLVER_FAULT_KINDS,
     FaultSchedule,
     FaultSpec,
@@ -297,6 +298,17 @@ class FaultPlan:
     def crash_specs(self) -> tuple[FaultSpec, ...]:
         """Control-plane ``crash`` point events in this plan's schedule."""
         return self.schedule.of_kinds(CRASH_FAULT_KINDS)
+
+    @property
+    def shard_specs(self) -> tuple[FaultSpec, ...]:
+        """Shard-targeted fault windows (crash/stall/journal-corrupt).
+
+        Consumed by the sharded closed-loop harness
+        (:func:`repro.shard.runtime.run_sharded_closed_loop`), which
+        compiles them into engine control events against the
+        :class:`~repro.shard.supervisor.ShardSupervisor`.
+        """
+        return self.schedule.of_kinds(SHARD_FAULT_KINDS)
 
     def state_dict(self) -> dict:
         """JSON-safe snapshot of the injection RNG streams.

@@ -50,6 +50,28 @@ Fault kinds
     plane (the DES engine, its queues, and its RNG streams) keeps
     running.  Requires ``RuntimeConfig.recovery`` to be enabled; see
     :mod:`repro.recovery`.
+``shard-crash``
+    One shard's runtime (dispatcher ``params['shard']``) is hard-killed
+    at ``start`` — a point event, like ``crash``, but scoped to a
+    single member of the sharded fleet.  The shard supervisor detects
+    the dead shard via missed-completion heartbeats, fails its share
+    over to the live shards, and splices the shard back after crash
+    recovery rebuilds it from its own ``shard-XX/`` journal and
+    checkpoints.  Requires recovery to be enabled.
+``shard-stall``
+    Shard ``params['shard']`` stops processing (routes shed, no
+    completions) for the window ``[start, end)``, then resumes with its
+    state intact — a hung-but-alive process, as opposed to a crash.
+``shard-journal-corrupt``
+    Like ``shard-crash``, but the shard's write-ahead journal gains a
+    torn/corrupt tail before recovery runs — exercising the CRC-framed
+    torn-write truncation path at shard scope.  Point event; requires
+    recovery.
+
+Coordinator solver faults reuse the plain ``solver-error`` /
+``solver-latency`` kinds scoped to ``methods=("sharded",)`` — the
+sharded harness wraps the global re-solve seam, so those windows break
+coordinator rebalance ticks without touching per-shard controllers.
 """
 
 from __future__ import annotations
@@ -67,6 +89,7 @@ __all__ = [
     "ESTIMATOR_FAULT_KINDS",
     "HEALTH_FAULT_KINDS",
     "CRASH_FAULT_KINDS",
+    "SHARD_FAULT_KINDS",
     "FAULT_KINDS",
     "FaultSpec",
     "FaultSchedule",
@@ -79,8 +102,18 @@ ESTIMATOR_FAULT_KINDS = frozenset(
 )
 HEALTH_FAULT_KINDS = frozenset({"server-down", "server-flap", "correlated-outage"})
 CRASH_FAULT_KINDS = frozenset({"crash"})
+SHARD_FAULT_KINDS = frozenset({"shard-crash", "shard-stall", "shard-journal-corrupt"})
 FAULT_KINDS = (
-    SOLVER_FAULT_KINDS | ESTIMATOR_FAULT_KINDS | HEALTH_FAULT_KINDS | CRASH_FAULT_KINDS
+    SOLVER_FAULT_KINDS
+    | ESTIMATOR_FAULT_KINDS
+    | HEALTH_FAULT_KINDS
+    | CRASH_FAULT_KINDS
+    | SHARD_FAULT_KINDS
+)
+
+#: Kinds whose window may collapse to an instant (``start == end``).
+_POINT_EVENT_KINDS = CRASH_FAULT_KINDS | frozenset(
+    {"shard-crash", "shard-journal-corrupt"}
 )
 
 
@@ -109,7 +142,7 @@ class FaultSpec:
             raise ParameterError(
                 f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}"
             )
-        point_event = self.kind in CRASH_FAULT_KINDS
+        point_event = self.kind in _POINT_EVENT_KINDS
         if not (
             math.isfinite(self.start)
             and math.isfinite(self.end)
@@ -151,6 +184,18 @@ class FaultSpec:
             if not servers:
                 raise ParameterError(
                     "'correlated-outage' needs a non-empty 'servers' sequence"
+                )
+        if self.kind in SHARD_FAULT_KINDS:
+            shard = p.get("shard")
+            if shard is None or not isinstance(shard, int) or shard < 0:
+                raise ParameterError(
+                    f"{self.kind!r} needs a non-negative integer 'shard' index,"
+                    f" got {shard!r}"
+                )
+            restore_delay = p.get("restore_delay", 0.0)
+            if not (math.isfinite(restore_delay) and restore_delay >= 0.0):
+                raise ParameterError(
+                    f"restore_delay must be >= 0, got {restore_delay!r}"
                 )
         methods = p.get("methods")
         if methods is not None and (
@@ -244,6 +289,8 @@ def random_fault_schedule(
     max_faults: int = 5,
     allow_cluster_down: bool = True,
     allow_crash: bool = False,
+    allow_shard_faults: bool = False,
+    n_shards: int = 0,
 ) -> FaultSchedule:
     """Draw a randomized-but-reproducible chaos schedule.
 
@@ -273,6 +320,16 @@ def random_fault_schedule(
         *after* the regular windows, so enabling it never perturbs the
         base schedule an existing seed produces).  Crash runs require
         recovery to be enabled on the runtime config.
+    allow_shard_faults:
+        Whether to add shard-targeted faults (``shard-crash``,
+        ``shard-stall``, ``shard-journal-corrupt``) plus, with
+        probability one half, one coordinator solver fault scoped to
+        ``methods=("sharded",)``.  Drawn *after* the ``allow_crash``
+        draw — the same pinning rule: enabling it never perturbs what
+        an existing seed produces with it off.  Requires ``n_shards``.
+    n_shards:
+        Size of the shard fleet the shard-targeted faults pick indices
+        from; required (>= 1) when ``allow_shard_faults`` is set.
     """
     if n_servers < 1:
         raise ParameterError(f"n_servers must be >= 1, got {n_servers}")
@@ -344,4 +401,47 @@ def random_fault_schedule(
         # allow_crash=False — existing seeded chaos runs stay pinned.
         t_crash = float(rng.uniform(0.15, 0.85) * fault_end)
         specs.append(FaultSpec(kind="crash", start=t_crash, end=t_crash))
+    if allow_shard_faults:
+        # Drawn after the allow_crash draw for the same pinning reason:
+        # every fault drawn above is byte-identical with this flag off.
+        if n_shards < 1:
+            raise ParameterError(
+                f"allow_shard_faults needs n_shards >= 1, got {n_shards}"
+            )
+        shard_kinds = ["shard-crash", "shard-stall", "shard-journal-corrupt"]
+        n_targets = int(rng.integers(1, min(3, n_shards) + 1))
+        # Distinct target shards, so per-shard windows never overlap on
+        # one shard (a crash during its own stall is out of scope).
+        targets = rng.choice(n_shards, size=n_targets, replace=False)
+        for shard in sorted(int(s) for s in targets):
+            kind = shard_kinds[int(rng.integers(len(shard_kinds)))]
+            shard_params: dict = {"shard": shard}
+            if kind == "shard-stall":
+                start = float(rng.uniform(0.1, 0.5) * fault_end)
+                length = float(rng.uniform(0.12, 0.3) * fault_end)
+                end = min(start + max(length, 1e-6), fault_end)
+            else:
+                # Point events sit well inside the faulting era so the
+                # heartbeat detector and recovery both finish before
+                # the quiet tail opens; a positive restore_delay leaves
+                # the shard dark long enough for the detector to fail
+                # it over before crash recovery splices it back.
+                start = end = float(rng.uniform(0.15, 0.5) * fault_end)
+                shard_params["restore_delay"] = float(
+                    rng.uniform(0.12, 0.3) * fault_end
+                )
+            specs.append(
+                FaultSpec(kind=kind, start=start, end=end, params=shard_params)
+            )
+        if rng.random() < 0.5:
+            # One coordinator-scoped solver fault: rebalance ticks see
+            # the failure, per-shard controllers stay healthy.
+            kind = "solver-error" if rng.random() < 0.5 else "solver-latency"
+            start = float(rng.uniform(0.1, 0.6) * fault_end)
+            end = min(start + float(rng.uniform(0.08, 0.2)) * fault_end, fault_end)
+            params: dict = {"methods": ("sharded",)}
+            if kind == "solver-latency":
+                params["latency"] = float(rng.uniform(0.5, 5.0))
+            if end > start:
+                specs.append(FaultSpec(kind=kind, start=start, end=end, params=params))
     return FaultSchedule(specs, seed=seed)

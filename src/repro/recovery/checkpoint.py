@@ -296,11 +296,12 @@ class CheckpointCodec:
             if runtime._router is None:
                 # Seed weights are irrelevant — load_state overwrites
                 # them — but the factory needs a valid vector to build.
-                seed_weights = (
-                    runtime._weights
-                    if runtime._weights is not None
-                    else np.ones(runtime.health.group.n)
-                )
+                # A checkpoint taken in shed-all mode (every server
+                # down) persists all-zero weights, so those need the
+                # placeholder too.
+                seed_weights = runtime._weights
+                if seed_weights is None or float(np.sum(seed_weights)) <= 0.0:
+                    seed_weights = np.ones(runtime.health.group.n)
                 runtime._router = make_router(
                     runtime.config.router, seed_weights, runtime._router_rng
                 )

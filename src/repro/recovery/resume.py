@@ -84,6 +84,12 @@ class RestoreReport:
     divergences: int
     duration: float
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serializable for CI artifacts)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
 
 def load_latest_checkpoint(directory: str) -> tuple[int, str, dict, int]:
     """Newest readable, schema-compatible checkpoint in ``directory``.

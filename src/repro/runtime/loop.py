@@ -423,9 +423,7 @@ class LoadDistributionRuntime:
             self._recovery.record_health(now, index, "down")
         if self.health.mark_down(index):
             self.metrics.counters.failures += 1
-            self._resolve(
-                now, self._offered_estimate(now), reason="failure", force=True
-            )
+            self._resolve(now, self.offered_estimate(now), reason="failure", force=True)
         if self._recovery is not None:
             self._recovery.safe_point()
 
@@ -436,16 +434,20 @@ class LoadDistributionRuntime:
             self._recovery.record_health(now, index, "up")
         if self.health.mark_up(index):
             self.metrics.counters.recoveries += 1
-            self._resolve(
-                now, self._offered_estimate(now), reason="recovery", force=True
-            )
+            self._resolve(now, self.offered_estimate(now), reason="recovery", force=True)
         if self._recovery is not None:
             self._recovery.safe_point()
 
-    def _offered_estimate(self, now: float) -> float:
+    def offered_estimate(self, now: float) -> float:
+        """The estimator's current offered-rate reading, floored positive.
+
+        A dead estimate (cold start, long silence) must not reach the
+        planner, which requires a positive rate.  Public: external
+        aggregators (e.g. the sharded dispatcher summing per-shard
+        offered rates) read it through here rather than reaching into
+        the estimator.
+        """
         est = self.estimator.estimate(now)
-        # A dead estimate (cold start, long silence) must not reach the
-        # planner, which requires a positive rate.
         return est if est > 0.0 else 1e-12
 
     # -- engine-facing hooks -------------------------------------------------------------

@@ -34,6 +34,8 @@ __all__ = [
     "FallbackDepthCounters",
     "ShedTracker",
     "RuntimeMetrics",
+    "FleetCounters",
+    "FleetMetrics",
 ]
 
 
@@ -527,3 +529,74 @@ class RuntimeMetrics:
         if self.counters.arrivals == 0:
             return 0.0
         return self.counters.shed / self.counters.arrivals
+
+
+@dataclass
+class FleetCounters:
+    """Monotonic event counters of one sharded fleet's supervisor."""
+
+    #: Coordinator rebalance ticks attempted (supervised path).
+    rebalance_attempts: int = 0
+    #: Rebalance ticks whose global re-solve succeeded and was adopted.
+    rebalance_successes: int = 0
+    #: Individual solve attempts that raised (one tick may retry).
+    rebalance_failures: int = 0
+    #: Extra same-tick solve attempts after a primary failure.
+    rebalance_retries: int = 0
+    #: Ticks skipped outright (breaker open or inside backoff).
+    rebalance_skipped: int = 0
+    #: Coordinator circuit-breaker transitions closed -> open.
+    breaker_opens: int = 0
+    #: Coordinator circuit-breaker transitions back to closed.
+    breaker_closes: int = 0
+    #: Heartbeat sweeps performed.
+    heartbeat_checks: int = 0
+    #: Shards declared dead and failed over (share zeroed).
+    failovers: int = 0
+    #: Shards spliced back after restore/stall-end.
+    restores: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serializable for CI artifacts)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+@dataclass
+class FleetMetrics:
+    """Metric set of one :class:`~repro.shard.supervisor.ShardSupervisor`.
+
+    Per-shard metrics stay on each shard's own
+    :class:`RuntimeMetrics`; this object holds only the fleet-level
+    control plane: coordinator rebalance outcomes, heartbeat/failover
+    events, and the degraded-mode state.
+
+    Attributes
+    ----------
+    counters:
+        Fleet event counters (see :class:`FleetCounters`).
+    incidents:
+        Bounded log of structured fleet incidents (``"shard-dead"``,
+        ``"shard-restored"``, ``"rebalance-failure"``,
+        ``"coordinator-breaker-open"``, ``"fleet-dark"``, ...).
+    rebalance_latency:
+        Wall-clock seconds per attempted global re-solve.
+    registry:
+        Per-instance registry backing the incident counts — same
+        isolation rule as :class:`RuntimeMetrics`.
+    degraded:
+        Number of shards currently failed over (0 = healthy fleet).
+    """
+
+    counters: FleetCounters = field(default_factory=FleetCounters)
+    incidents: IncidentLog = field(default_factory=IncidentLog)
+    rebalance_latency: RunningStats = field(default_factory=RunningStats)
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    degraded: int = 0
+
+    @classmethod
+    def create(cls) -> "FleetMetrics":
+        """Fresh fleet metrics on one shared per-instance registry."""
+        registry = MetricsRegistry()
+        return cls(incidents=IncidentLog(registry=registry), registry=registry)

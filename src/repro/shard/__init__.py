@@ -18,7 +18,12 @@ from __future__ import annotations
 
 from .coordinator import ShardCoordinator, solve_sharded
 from .partition import Shard, ShardConfig, ShardPlan, partition_group
-from .runtime import ShardedRuntimeReport, run_sharded_closed_loop
+from .runtime import (
+    ShardedDispatcher,
+    ShardedRuntimeReport,
+    run_sharded_closed_loop,
+    shard_seeds,
+)
 from .sparse import (
     PruningGapEntry,
     PruningGapReport,
@@ -26,6 +31,7 @@ from .sparse import (
     pruning_gap_report,
     rank_servers,
 )
+from .supervisor import ShardSupervisor, ShardSupervisorConfig
 
 __all__ = [
     "ShardConfig",
@@ -39,6 +45,10 @@ __all__ = [
     "PruningGapEntry",
     "PruningGapReport",
     "pruning_gap_report",
+    "ShardedDispatcher",
     "ShardedRuntimeReport",
     "run_sharded_closed_loop",
+    "shard_seeds",
+    "ShardSupervisor",
+    "ShardSupervisorConfig",
 ]

@@ -54,7 +54,7 @@ from typing import Mapping
 import numpy as np
 
 from ..core.bisection import DEFAULT_TOL, STABILITY_MARGIN, settle_residual
-from ..core.exceptions import ConvergenceError, ParameterError
+from ..core.exceptions import ConvergenceError, InfeasibleError, ParameterError
 from ..core.newton import _inner_newton, marginal_cost_and_slope_vec
 from ..core.response import Discipline
 from ..core.result import LoadDistributionResult
@@ -87,6 +87,7 @@ class ShardCoordinator:
         total_rate: float,
         discipline: Discipline | str = Discipline.FCFS,
         tol: float = DEFAULT_TOL,
+        live: np.ndarray | None = None,
     ) -> None:
         if tol <= 0.0:
             raise ParameterError(f"tol must be > 0, got {tol}")
@@ -96,13 +97,29 @@ class ShardCoordinator:
         self.disc = Discipline.coerce(discipline)
         self.tol = float(tol)
         self.group.check_feasible(self.total_rate)
+        if live is None:
+            self.live = np.ones(plan.n_shards, dtype=bool)
+        else:
+            self.live = np.asarray(live, dtype=bool).copy()
+            if self.live.shape != (plan.n_shards,):
+                raise ParameterError(
+                    f"live mask has shape {self.live.shape}, "
+                    f"expected ({plan.n_shards},)"
+                )
+            if not self.live.any():
+                raise InfeasibleError("every shard is masked dead")
 
         kept = candidate_sets(
             plan, self.total_rate, self.disc, plan.config.top_k
         )
+        # Failed-over shards contribute no candidates: the masked solve
+        # is the same program restricted to the surviving fleet.
+        kept = [
+            k if self.live[s] else k[:0] for s, k in enumerate(kept)
+        ]
         members = [np.asarray(s.members) for s in plan.shards]
         # Concatenated candidate frame: every array below is indexed by
-        # candidate position; `starts` delimits shard runs for reduceat.
+        # candidate position; `shard_of` maps positions to shard runs.
         self.cand = np.concatenate(
             [members[s][kept[s]] for s in range(plan.n_shards)]
         )
@@ -131,9 +148,18 @@ class ShardCoordinator:
             self.ms, self.xbars, self.specials, self.hard_caps,
             self.total_rate, self.disc,
         )
-        live = caps > 0.0
-        self.phi_floor = float(self.g0[live].min())
-        self.phi_ceil = float(np.nextafter(self.gcap[live].max(), math.inf))
+        if float(self.hard_caps.sum()) <= self.total_rate:
+            # The full group passed check_feasible above, so this only
+            # fires when the live mask (or aggressive pruning) removed
+            # too much capacity — the caller must shed first.
+            raise InfeasibleError(
+                f"candidate capacity {float(self.hard_caps.sum()):.6g} cannot "
+                f"carry total rate {self.total_rate:.6g} "
+                f"({int(self.live.sum())}/{plan.n_shards} shards live)"
+            )
+        usable = caps > 0.0
+        self.phi_floor = float(self.g0[usable].min())
+        self.phi_ceil = float(np.nextafter(self.gcap[usable].max(), math.inf))
 
         self.inner_sweeps = 0
         cap_sum = float(caps.sum())
@@ -185,8 +211,19 @@ class ShardCoordinator:
                 with np.errstate(divide="ignore"):
                     fprime = float(np.where(free, 1.0 / dg, 0.0).sum())
             self._prev = rates
-        loads = np.add.reduceat(rates, self.starts)
+        loads = self._shard_loads(rates)
         return loads, rates, fprime
+
+    def _shard_loads(self, rates: np.ndarray) -> np.ndarray:
+        """Per-shard load sums over the candidate frame.
+
+        ``bincount`` rather than ``reduceat``: with an empty candidate
+        run (a dead or fully-pruned shard) ``reduceat`` would return the
+        element *at* the duplicated start offset instead of zero.
+        """
+        return np.bincount(
+            self.shard_of, weights=rates, minlength=self.plan.n_shards
+        )
 
     def _seed(self, phi_hint) -> float:
         """Outer-loop starting multiplier from ``phi_hint`` (see solve)."""
@@ -246,12 +283,12 @@ class ShardCoordinator:
 
         phi = self._seed(phi_hint)
         if phi <= 0.0:
-            live = self.caps > 0.0
+            usable = self.caps > 0.0
             g_start, _ = marginal_cost_and_slope_vec(
                 self.ms, self.xbars, self.specials, self._prev,
                 total_rate, self.disc,
             )
-            phi = float(np.median(g_start[live]))
+            phi = float(np.median(g_start[usable]))
         phi = min(max(float(phi), phi_seed), self.phi_ceil)
 
         phi_lo, phi_hi = self.phi_floor, self.phi_ceil
@@ -307,7 +344,7 @@ class ShardCoordinator:
         full_caps = np.zeros(group.n)
         full_caps[self.cand] = self.hard_caps
         full_rates = settle_residual(full_rates, total_rate, full_caps)
-        loads = np.add.reduceat(full_rates[self.cand], self.starts)
+        loads = self._shard_loads(full_rates[self.cand])
         cfg = self.plan.config
         phi = float(phi)
         return LoadDistributionResult(
@@ -334,6 +371,7 @@ class ShardCoordinator:
                 # move them apart between solves.
                 "shard_phi": {s: phi for s in range(self.plan.n_shards)},
                 "shard_loads": [float(x) for x in loads],
+                "live_shards": [bool(x) for x in self.live],
                 "inner_sweeps": int(self.inner_sweeps),
             },
         )
@@ -397,6 +435,7 @@ def solve_sharded(
     strategy: str | None = None,
     assignment=None,
     top_k: int | None = None,
+    live: np.ndarray | None = None,
 ) -> LoadDistributionResult:
     """Hierarchical sharded solve (``method="sharded"``).
 
@@ -412,6 +451,13 @@ def solve_sharded(
     ``phi_hint`` accepts a float (shared multiplier) or a mapping of
     per-shard hints ``{shard_index: phi}`` — see
     :meth:`ShardCoordinator.solve`.
+
+    ``live`` is an optional per-shard boolean mask: dead shards
+    contribute no candidates and receive zero load — the failover
+    re-solve the shard supervisor runs when a dispatcher drops out.
+    The masked program must still be feasible (the live shards' capped
+    capacity must exceed ``total_rate``), else
+    :class:`~repro.core.exceptions.InfeasibleError` is raised.
     """
     plan = resolve_plan(
         group,
@@ -422,7 +468,7 @@ def solve_sharded(
         assignment=assignment,
         top_k=top_k,
     )
-    coordinator = ShardCoordinator(plan, total_rate, discipline, tol)
+    coordinator = ShardCoordinator(plan, total_rate, discipline, tol, live=live)
     o = get_obs()
     if not o.enabled:
         return coordinator.solve(phi_hint)

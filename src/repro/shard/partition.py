@@ -156,6 +156,23 @@ class ShardPlan:
             owner[list(shard.members)] = shard.index
         return owner
 
+    def live_capacity(self, live: np.ndarray | None = None) -> float:
+        """Saturation point of the shards flagged live (all by default).
+
+        ``live`` is a boolean vector of length :attr:`n_shards`; dead
+        shards contribute zero capacity.  The shard supervisor clamps
+        the failover re-solve's target rate with this, so a degraded
+        fleet sheds instead of saturating its survivors.
+        """
+        if live is None:
+            return self.group.max_generic_rate
+        live = np.asarray(live, dtype=bool)
+        if live.shape != (self.n_shards,):
+            raise ParameterError(
+                f"live mask has shape {live.shape}, expected ({self.n_shards},)"
+            )
+        return float(sum(s.capacity for s in self.shards if live[s.index]))
+
     def expand(self, per_shard: list[np.ndarray]) -> np.ndarray:
         """Scatter per-shard (local-order) vectors back to group order."""
         if len(per_shard) != self.n_shards:

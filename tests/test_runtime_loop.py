@@ -266,3 +266,30 @@ class TestGracefulDegradation:
         assert out.metrics.counters.shed > 0
         assert out.runtime.shed_fraction == 0.0
         assert out.runtime.resolve_log[-1].shed_fraction == 0.0
+
+
+class TestOfferedEstimate:
+    """``offered_estimate`` is the public aggregate-rate reading."""
+
+    def test_tracks_estimator_after_observations(self, group):
+        from repro.runtime.loop import LoadDistributionRuntime
+
+        runtime = LoadDistributionRuntime(group, 5.0, _config())
+        before = runtime.offered_estimate(0.0)
+        assert before == pytest.approx(5.0, rel=0.2)
+        # A burst of arrivals pushes the estimate up; external
+        # aggregators (the sharded dispatcher) read it through the
+        # public accessor, not the estimator internals.
+        t = 0.0
+        for _ in range(400):
+            t += 0.02  # 50/s, ten times the prior
+            runtime.observe_arrival(t)
+        after = runtime.offered_estimate(t)
+        assert after > before
+        assert after == pytest.approx(runtime.estimator.estimate(t))
+
+    def test_no_private_accessor_left(self, group):
+        from repro.runtime.loop import LoadDistributionRuntime
+
+        runtime = LoadDistributionRuntime(group, 5.0, _config())
+        assert not hasattr(runtime, "_offered_estimate")

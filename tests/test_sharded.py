@@ -28,11 +28,13 @@ from repro.recovery import RecoveryConfig
 from repro.runtime.loop import RuntimeConfig
 from repro.shard import (
     ShardCoordinator,
+    ShardedDispatcher,
     candidate_sets,
     partition_group,
     pruning_gap_report,
     rank_servers,
     run_sharded_closed_loop,
+    shard_seeds,
     solve_sharded,
 )
 from repro.workloads.traces import RateTrace
@@ -437,3 +439,129 @@ class TestShardedClosedLoop:
         # offered rate; the dispatcher-level shares stay normalized.
         assert abs(sum(report.shard_shares) - 1.0) <= 1e-12
         assert report.sim.generic_completed > 0
+
+
+class TestShardSeeds:
+    def test_deterministic_and_distinct_within_base(self):
+        a = shard_seeds(42, 6)
+        assert a == shard_seeds(42, 6)
+        assert len(set(a)) == 6
+
+    def test_no_cross_base_aliasing(self):
+        # The old affine rule (base + 7919 * (s + 1)) made shard s of
+        # base b collide with shard s - 1 of base b + 7919, so two
+        # "independent" experiment replications shared whole runtime
+        # streams.  SeedSequence spawning keeps every (base, shard)
+        # pair disjoint.
+        for base in (0, 1, 7919, 7920, 2 * 7919):
+            for other in (base + 7919, base + 2 * 7919):
+                ours = set(shard_seeds(base, 5))
+                theirs = set(shard_seeds(other, 5))
+                assert ours.isdisjoint(theirs), (base, other)
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ParameterError):
+            shard_seeds(0, 0)
+
+
+class TestDispatcherEdgeCases:
+    def _dispatcher(self, shares=None):
+        g = BladeServerGroup.with_special_fraction(
+            sizes=[2, 4, 6, 8], speeds=[1.5, 1.3, 1.2, 1.0], fraction=0.3
+        )
+        plan = partition_group(g, ShardConfig(shards=2))
+        from repro.runtime.loop import LoadDistributionRuntime
+
+        runtimes = [
+            LoadDistributionRuntime(s.group, 4.0, RuntimeConfig())
+            for s in plan.shards
+        ]
+        if shares is None:
+            shares = np.array([0.5, 0.5])
+        return ShardedDispatcher(
+            plan, runtimes, shares, np.random.default_rng(123)
+        )
+
+    def test_zero_total_shares_fall_back_to_uniform(self):
+        dispatcher = self._dispatcher()
+        dispatcher.set_shares(np.zeros(2))
+        np.testing.assert_allclose(dispatcher.shares, [0.5, 0.5])
+
+    def test_exact_zero_share_shard_never_drawn(self):
+        dispatcher = self._dispatcher(shares=np.array([0.0, 1.0]))
+        for _ in range(2000):
+            dispatcher.observe_arrival(0.0)
+            assert dispatcher._pending == 1
+
+    def test_member_shed_decision_passes_through(self):
+        # A shard runtime answering -1 (its own shed decision) must
+        # surface as -1 from the composite, not as a mangled global
+        # index.
+        dispatcher = self._dispatcher(shares=np.array([1.0, 0.0]))
+        dispatcher.runtimes[0].route = lambda servers=None: -1
+        dispatcher.observe_arrival(0.0)
+        assert dispatcher.route() == -1
+
+    def test_negative_share_rejected(self):
+        dispatcher = self._dispatcher()
+        with pytest.raises(ParameterError):
+            dispatcher.set_shares(np.array([-0.1, 1.1]))
+
+
+class TestLiveMaskedSolve:
+    def test_masked_solve_excludes_dead_shard(self):
+        g = BladeServerGroup.with_special_fraction(
+            sizes=[2, 4, 6, 8, 10, 12], speeds=[1.5, 1.4, 1.3, 1.2, 1.1, 1.0],
+            fraction=0.3,
+        )
+        cfg = ShardConfig(shards=3)
+        plan = partition_group(g, cfg)
+        live = np.array([True, False, True])
+        res = solve_sharded(g, 10.0, plan=plan, live=live)
+        loads = np.asarray(res.metadata["shard_loads"])
+        assert loads[1] == 0.0
+        assert loads[live].sum() == pytest.approx(10.0)
+        assert res.metadata["live_shards"] == [True, False, True]
+        # Dead shard's servers carry exactly zero.
+        members = plan.shards[1].members
+        assert all(res.generic_rates[i] == 0.0 for i in members)
+
+    def test_masked_solve_infeasible_when_survivors_cannot_carry(self):
+        from repro.core.exceptions import InfeasibleError
+
+        g = BladeServerGroup.with_special_fraction(
+            sizes=[2, 4, 6, 8, 10, 12], speeds=[1.5, 1.4, 1.3, 1.2, 1.1, 1.0],
+            fraction=0.3,
+        )
+        cfg = ShardConfig(shards=3)
+        plan = partition_group(g, cfg)
+        # Only the smallest shard survives; the full-fleet rate cannot fit.
+        live = np.array([True, False, False])
+        lam = 0.9 * plan.group.max_generic_rate
+        with pytest.raises(InfeasibleError):
+            solve_sharded(g, lam, plan=plan, live=live)
+
+    def test_all_dead_mask_rejected(self):
+        from repro.core.exceptions import InfeasibleError
+
+        g = BladeServerGroup.with_special_fraction(
+            sizes=[2, 4], speeds=[1.2, 1.0], fraction=0.3
+        )
+        plan = partition_group(g, ShardConfig(shards=2))
+        with pytest.raises(InfeasibleError):
+            solve_sharded(g, 1.0, plan=plan, live=np.array([False, False]))
+
+    def test_live_capacity_matches_mask(self):
+        g = BladeServerGroup.with_special_fraction(
+            sizes=[2, 4, 6], speeds=[1.2, 1.1, 1.0], fraction=0.3
+        )
+        plan = partition_group(g, ShardConfig(shards=3))
+        full = plan.live_capacity()
+        assert full == pytest.approx(g.max_generic_rate)
+        mask = np.array([True, False, True])
+        masked = plan.live_capacity(mask)
+        assert masked == pytest.approx(
+            plan.shards[0].capacity + plan.shards[2].capacity
+        )
+        with pytest.raises(ParameterError):
+            plan.live_capacity(np.array([True, False]))

@@ -1,0 +1,276 @@
+"""Dispatch head-to-head: static split vs JSQ(d) vs join-idle-queue.
+
+Closed-loop comparison of the routing policies behind the PR 9
+registry, all realizing the *same* KKT-optimal long-run split:
+
+* ``alias`` — the static baseline (i.i.d. sampling of the split);
+* ``pod`` — optimal-prior power-of-d (d = 2): sample two candidates
+  from the split, route to the one with fewer tasks in flight;
+* ``jiq`` — join-idle-queue with the optimal prior as fallback.
+
+Three scenarios through the existing drift/fault machinery: a
+stationary trace, a +25% rate step (drift re-solve), and a step plus a
+server failure/recovery pair.  Acceptance (asserted in full mode,
+loosely in ``--quick``): pod's mean response time is **at or below**
+the static split's under drift and never worse than 1% above it in
+stationarity.
+
+The microbench times the bare pick path per policy at n = 64 and
+n = 50 000 and gates on *ratios only* (per repo convention — shared
+runners make raw seconds meaningless): per-pick cost must be O(1) in
+group size (50k/64 ratio bounded) and within a small constant of the
+static alias baseline at n = 50k.  On unloaded hardware the buffered
+alias sampling amortizes to well under a microsecond per decision.
+Latency distributions are recorded into an obs histogram and persisted
+— together with the head-to-head table — to ``BENCH_dispatch.json``,
+which the CI ``dispatch`` leg uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import ObsConfig, RuntimeConfig
+from repro.core.server import BladeServerGroup
+from repro.obs import configure, get_obs
+from repro.recovery import atomic_write_json
+from repro.runtime.loop import run_closed_loop
+from repro.runtime.policies import RoutingConfig, build_router
+from repro.workloads.traces import RateTrace
+
+ARTIFACT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_dispatch.json")
+
+POLICIES = ("alias", "pod", "jiq")
+
+HORIZON = 3000.0
+QUICK_HORIZON = 600.0
+SEEDS = (1, 2, 3)
+QUICK_SEEDS = (1,)
+
+#: Microbench group sizes (the O(1) gate compares the two).
+MICRO_SIZES = (64, 50_000)
+QUICK_MICRO_SIZES = (64, 4_000)
+PICKS = 30_000
+QUICK_PICKS = 4_000
+
+
+def dispatch_group(n: int = 10) -> BladeServerGroup:
+    """Heterogeneous group: sizes cycle 1..8, speeds 0.7..1.66."""
+    return BladeServerGroup.with_special_fraction(
+        sizes=[1 + (i % 8) for i in range(n)],
+        speeds=[0.7 + 0.12 * (i % 9) for i in range(n)],
+        fraction=0.3,
+    )
+
+
+def _update_artifact(key: str, value) -> str:
+    """Merge ``{key: value}`` into the JSON artifact crash-safely."""
+    data = {}
+    if os.path.exists(ARTIFACT):
+        try:
+            with open(ARTIFACT, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data[key] = value
+    atomic_write_json(ARTIFACT, data)
+    return ARTIFACT
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop head-to-head
+# ---------------------------------------------------------------------------
+
+
+def _scenarios(horizon: float, rate: float):
+    drift = RateTrace.step(rate=rate, at=horizon / 3, to=1.25 * rate)
+    return {
+        "stationary": (RateTrace.constant(rate), ()),
+        "drift": (drift, ()),
+        "drift+failure": (
+            RateTrace.step(rate=rate, at=horizon / 3, to=1.2 * rate),
+            ((0.55 * horizon, 0, "down"), (0.75 * horizon, 0, "up")),
+        ),
+    }
+
+
+def test_head_to_head_mean_response_time(quick):
+    """Mean T per (policy, scenario), averaged over seeds.
+
+    The state-aware policies ride the same KKT split as the static
+    baseline, so any win is pure queue-state exploitation — the paper's
+    optimum remains the prior, exactly as in the Gardner et al. setup.
+    """
+    horizon = QUICK_HORIZON if quick else HORIZON
+    seeds = QUICK_SEEDS if quick else SEEDS
+    group = dispatch_group()
+    rate = 0.6 * group.max_generic_rate
+
+    table: dict[str, dict[str, float]] = {}
+    for scenario, (trace, failures) in _scenarios(horizon, rate).items():
+        table[scenario] = {}
+        for policy in POLICIES:
+            means = []
+            for seed in seeds:
+                out = run_closed_loop(
+                    group,
+                    trace,
+                    RuntimeConfig(routing=RoutingConfig(policy=policy, d=2)),
+                    horizon=horizon,
+                    warmup=0.1 * horizon,
+                    seed=seed,
+                    failures=list(failures),
+                    collect_tasks=False,
+                )
+                means.append(out.sim.generic_response_time)
+            table[scenario][policy] = float(np.mean(means))
+
+    print("\nmean generic response time (seed-averaged):")
+    for scenario, row in table.items():
+        ratios = {p: row[p] / row["alias"] for p in POLICIES}
+        print(
+            f"  {scenario:>14}: "
+            + "  ".join(f"{p}={row[p]:.4f} ({ratios[p]:.3f}x)" for p in POLICIES)
+        )
+    path = _update_artifact(
+        "head_to_head",
+        {"horizon": horizon, "seeds": list(seeds), "mean_t": table},
+    )
+    print(f"head-to-head -> {path}")
+
+    # Acceptance: state beats (or matches) the static split.  Quick
+    # mode runs one seed over a short horizon, so only a loose sanity
+    # ceiling is asserted there.
+    slack = 1.15 if quick else 1.0
+    assert table["drift"]["pod"] <= slack * table["drift"]["alias"], (
+        f"pod {table['drift']['pod']:.4f} worse than static "
+        f"{table['drift']['alias']:.4f} under drift"
+    )
+    stat_slack = 1.15 if quick else 1.01
+    assert table["stationary"]["pod"] <= stat_slack * table["stationary"]["alias"]
+    # JIQ must never collapse (it may trail pod under sustained load).
+    assert table["drift"]["jiq"] <= 1.25 * table["drift"]["alias"]
+
+
+# ---------------------------------------------------------------------------
+# Pick-path microbench (O(1) + relative-cost gates, obs histograms)
+# ---------------------------------------------------------------------------
+
+
+def _build_policy(policy: str, n: int, rng_seed: int = 2):
+    weights = np.random.default_rng(1).random(n) + 0.05
+    rng = np.random.default_rng(rng_seed)
+    router = build_router(RoutingConfig(policy=policy, d=2), weights, rng)
+    state = [1] * n
+    if policy == "jiq":
+        # Drain the idle stack so every timed pick takes the fallback
+        # prior-sampling path — the worst case, and the steady state
+        # under sustained load.
+        for _ in range(n):
+            router.pick(state)
+    return router, state
+
+
+def _per_pick_seconds(router, state, picks: int, repeats: int = 7) -> float:
+    pick = router.pick
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(picks):
+            pick(state)
+        best = min(best, (time.perf_counter() - t0) / picks)
+    return best
+
+
+def test_pick_path_is_o1_and_near_static_cost(quick):
+    """Per-pick cost: flat in n, within a small constant of alias.
+
+    Both gates are *within-run ratios* (same process, same moment), the
+    same convention the obs-overhead contract uses, so they hold on
+    loaded shared runners where raw nanoseconds do not.
+    """
+    sizes = QUICK_MICRO_SIZES if quick else MICRO_SIZES
+    picks = QUICK_PICKS if quick else PICKS
+
+    prior_obs = get_obs()
+    results: dict[str, dict[int, float]] = {p: {} for p in POLICIES}
+    try:
+        o = configure(ObsConfig(enabled=True, trace=False))
+        hist = o.registry.histogram(
+            "repro_router_pick_seconds",
+            "Amortized per-pick latency of the routing policies",
+            labels=("policy", "n"),
+            lo=1e-8,
+            hi=1e-3,
+        )
+        for n in sizes:
+            for policy in POLICIES:
+                router, state = _build_policy(policy, n)
+                cost = _per_pick_seconds(router, state, picks)
+                results[policy][n] = cost
+                hist.labels(policy=policy, n=str(n)).observe(cost)
+        snapshot = o.registry.to_dict()
+    finally:
+        configure(prior_obs)
+
+    lo, hi = sizes[0], sizes[-1]
+    print("\namortized per-pick cost (min over repeats):")
+    for policy in POLICIES:
+        print(
+            f"  {policy:>5}: "
+            + "  ".join(f"n={n}: {results[policy][n] * 1e9:8.1f} ns" for n in sizes)
+        )
+    ratios = {
+        "o1": {p: results[p][hi] / results[p][lo] for p in POLICIES},
+        "vs_alias": {p: results[p][hi] / results["alias"][hi] for p in POLICIES},
+    }
+    print(f"  O(1) ratios (n={hi}/n={lo}):", {k: round(v, 2) for k, v in ratios["o1"].items()})
+    print(f"  vs alias at n={hi}:", {k: round(v, 2) for k, v in ratios["vs_alias"].items()})
+
+    path = _update_artifact(
+        "microbench",
+        {
+            "picks": picks,
+            "per_pick_seconds": {
+                p: {str(n): results[p][n] for n in sizes} for p in POLICIES
+            },
+            "ratios": ratios,
+            "histograms": snapshot,
+        },
+    )
+    print(f"microbench -> {path}")
+
+    # O(1): a ~780x larger group may not cost more than 3x per pick
+    # (cache effects on the big support arrays, never algorithmic).
+    for policy in POLICIES:
+        assert ratios["o1"][policy] < 3.0, (
+            f"{policy} pick cost grows with n: {ratios['o1'][policy]:.2f}x "
+            f"from n={lo} to n={hi}"
+        )
+    # Relative ceiling vs the static baseline at the large size.  The
+    # buffered prior makes pod/jiq *cheaper* than alias's two scalar
+    # generator calls (~0.5x / ~0.3x); 1.5x is generous headroom.
+    assert ratios["vs_alias"]["pod"] < 1.5
+    assert ratios["vs_alias"]["jiq"] < 1.5
+
+
+def test_pick_sequences_are_deterministic():
+    """Same seed, same weights → identical pick sequence (the property
+    the crash-recovery replay and the CI gate both lean on)."""
+    n = 128
+    weights = np.random.default_rng(1).random(n) + 0.05
+    state = list(np.random.default_rng(2).integers(0, 5, size=n))
+    for policy in POLICIES:
+        a = build_router(
+            RoutingConfig(policy=policy, d=2), weights, np.random.default_rng(9)
+        )
+        b = build_router(
+            RoutingConfig(policy=policy, d=2), weights, np.random.default_rng(9)
+        )
+        seq_a = [a.pick(state) for _ in range(2000)]
+        seq_b = [b.pick(state) for _ in range(2000)]
+        assert seq_a == seq_b, f"{policy} pick sequence is not seed-deterministic"

@@ -38,6 +38,7 @@ SIGNATURE_NAMES = (
     "solve_sharded",
     "partition_group",
     "register_method",
+    "register_router",
     "random_fault_schedule",
     "restore_runtime",
     "optimize_load_distribution",
@@ -70,7 +71,13 @@ def render_snapshot() -> str:
         obj = getattr(repro, name)
         lines.append(f"{name}{inspect.signature(obj)}")
     lines += ["", "[configs]"]
-    for cfg_name in ("ObsConfig", "RuntimeConfig", "RecoveryConfig", "ShardConfig"):
+    for cfg_name in (
+        "ObsConfig",
+        "RuntimeConfig",
+        "RoutingConfig",
+        "RecoveryConfig",
+        "ShardConfig",
+    ):
         cls = getattr(repro, cfg_name)
         import dataclasses
 

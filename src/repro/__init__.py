@@ -42,8 +42,10 @@ Subpackages
     Discrete-event simulator of a blade-server group, used to validate
     the analytical model.
 ``repro.runtime``
-    Online control plane: drift-aware re-solves, routing, closed-loop
-    validation (:func:`run_closed_loop`).
+    Online control plane: drift-aware re-solves, the routing-policy
+    registry (static splits plus state-aware power-of-d and
+    join-idle-queue; :func:`register_router`), closed-loop validation
+    (:func:`run_closed_loop`).
 ``repro.faults``
     Fault injection (:class:`FaultSpec`, :class:`FaultSchedule`) and
     the supervised resilience layer.
@@ -90,6 +92,14 @@ from .obs import ObsConfig, configure, get_obs, reset_obs
 from .recovery import RecoveryConfig
 from .recovery.resume import RestoreReport, restore_runtime
 from .runtime.loop import ClosedLoopResult, RuntimeConfig, run_closed_loop
+from .runtime.policies import (
+    JoinIdleQueueRouter,
+    OptimalPriorPowerOfDRouter,
+    RoutingConfig,
+    available_routers,
+    register_router,
+    registered_routers,
+)
 from .shard import (
     ShardConfig,
     ShardedRuntimeReport,
@@ -123,6 +133,13 @@ __all__ = [
     "run_closed_loop",
     "RuntimeConfig",
     "ClosedLoopResult",
+    # Routing policy registry (data plane).
+    "RoutingConfig",
+    "available_routers",
+    "register_router",
+    "registered_routers",
+    "OptimalPriorPowerOfDRouter",
+    "JoinIdleQueueRouter",
     # Sharded control plane (fleet scale).
     "ShardConfig",
     "ShardPlan",

@@ -46,7 +46,10 @@ __all__ = [
 
 #: Version of the checkpoint dict layout.  Bumped on any incompatible
 #: change; restore refuses mismatched snapshots with a clear error.
-SCHEMA_VERSION = 1
+#: v2: RuntimeConfig grew the ``routing`` knob (changing the persisted
+#: config dict) and the runtime section gained the per-server in-flight
+#: vector that state-aware policies route on.
+SCHEMA_VERSION = 2
 
 _CHECKPOINT_PREFIX = "checkpoint-"
 _CHECKPOINT_SUFFIX = ".json"
@@ -221,6 +224,7 @@ class CheckpointCodec:
                 else [float(w) for w in runtime._weights],
                 "result": None if runtime._result is None else enc(runtime._result),
                 "resolve_log": [asdict(ev) for ev in runtime.resolve_log],
+                "inflight": [int(c) for c in runtime._inflight],
             },
             "metrics": runtime.metrics.state_dict(),
             "rng": {
@@ -289,9 +293,10 @@ class CheckpointCodec:
         from ..runtime.loop import ResolveEvent
 
         runtime.resolve_log = [ResolveEvent(**ev) for ev in state["resolve_log"]]
+        runtime._inflight = [int(c) for c in state["inflight"]]
 
         if snapshot["router"] is not None:
-            from ..runtime.router import make_router
+            from ..runtime.policies import build_router
 
             if runtime._router is None:
                 # Seed weights are irrelevant — load_state overwrites
@@ -302,8 +307,8 @@ class CheckpointCodec:
                 seed_weights = runtime._weights
                 if seed_weights is None or float(np.sum(seed_weights)) <= 0.0:
                     seed_weights = np.ones(runtime.health.group.n)
-                runtime._router = make_router(
-                    runtime.config.router, seed_weights, runtime._router_rng
+                runtime._router = build_router(
+                    runtime.config.routing_config(), seed_weights, runtime._router_rng
                 )
             runtime._router.load_state(snapshot["router"])
 
@@ -412,6 +417,17 @@ class RecoveryManager:
         point: the arrival is fully processed and its record is in."""
         self._writer.append(now, "route", {"dest": int(dest)})
         self.safe_point()
+
+    def record_completion(self, now: float, server: int) -> None:
+        """Journal one task completion (state-aware policies only).
+
+        Replay re-applies completions in journal order so the queue-
+        depth evolution a power-of-d/JIQ pick depends on is rebuilt
+        bit-identically.  No ``safe_point()`` here: the checkpoint
+        cadence stays a pure function of control decisions, exactly as
+        in schema v1.
+        """
+        self._writer.append(now, "complete", {"server": int(server)})
 
     def record_health(self, now: float, server: int, kind: str) -> None:
         """Journal a health signal *before* the runtime processes it."""

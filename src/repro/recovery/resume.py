@@ -192,6 +192,11 @@ def restore_runtime(
                 dest = runtime._route()
                 if recovery.verify_replay and dest != record.data["dest"]:
                     divergences += 1
+            elif record.kind == "complete":
+                # Journaled only under state-aware routing policies:
+                # re-applying completions in order rebuilds the queue-
+                # depth evolution the replayed picks depend on.
+                runtime._apply_completion(record.data["server"])
             elif record.kind == "health":
                 if record.data["kind"] == "down":
                     runtime.server_down(record.data["server"], record.t)

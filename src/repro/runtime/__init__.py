@@ -15,6 +15,9 @@ module             role
                    LRU-cached, hysteresis-gated
 ``router``         fractional rates → per-task decisions (smooth WRR /
                    alias-table sampling)
+``policies``       state-aware policies (optimal-prior power-of-d,
+                   join-idle-queue) + the ``register_router`` registry
+                   and ``RoutingConfig``
 ``health``         server up/down, group shrink/restore, graceful
                    degradation (shed to a utilization cap, never crash)
 ``metrics``        counters, routed-rate gauges, re-solve latency,
@@ -58,6 +61,18 @@ from .metrics import (
     RuntimeMetrics,
     ShedTracker,
 )
+from .policies import (
+    JoinIdleQueueRouter,
+    OptimalPriorPowerOfDRouter,
+    RouterPolicy,
+    RouterSpec,
+    RoutingConfig,
+    available_routers,
+    build_router,
+    register_router,
+    registered_routers,
+    router_spec,
+)
 from .router import (
     AliasTableRouter,
     SmoothWeightedRoundRobinRouter,
@@ -75,13 +90,18 @@ __all__ = [
     "HealthTracker",
     "IncidentLog",
     "IncidentRecord",
+    "JoinIdleQueueRouter",
     "LoadDistributionRuntime",
     "LogHistogram",
+    "OptimalPriorPowerOfDRouter",
     "RateEstimator",
     "RateGauges",
     "ResolveController",
     "ResolveEvent",
     "ResolveOutcome",
+    "RouterPolicy",
+    "RouterSpec",
+    "RoutingConfig",
     "RuntimeConfig",
     "RuntimeCounters",
     "RuntimeMetrics",
@@ -89,6 +109,11 @@ __all__ = [
     "SlidingWindowRateEstimator",
     "SmoothWeightedRoundRobinRouter",
     "WeightedRouter",
+    "available_routers",
+    "build_router",
     "make_router",
+    "register_router",
+    "registered_routers",
+    "router_spec",
     "run_closed_loop",
 ]

@@ -42,7 +42,7 @@ from .controller import ResolveController
 from .estimator import DriftDetector, EwmaRateEstimator, SlidingWindowRateEstimator
 from .health import HealthTracker
 from .metrics import IncidentRecord, RuntimeMetrics
-from .router import make_router
+from .policies import RoutingConfig, build_router, router_spec
 
 __all__ = [
     "RuntimeConfig",
@@ -87,8 +87,14 @@ class RuntimeConfig(ConfigBase):
         Degradation cap: admitted load never exceeds this fraction of
         the surviving capacity; the excess is shed.
     router:
-        ``"swrr"`` (smooth weighted round-robin) or ``"alias"``
-        (alias-table sampling).
+        Legacy data-plane knob: the routing policy name, honored only
+        when ``routing`` is ``None``.  Prefer ``routing``.
+    routing:
+        Full data-plane configuration (see
+        :class:`repro.runtime.policies.RoutingConfig`): the policy name
+        resolved against the router registry plus its knobs (e.g. the
+        power-of-``d`` sample count).  ``None`` falls back to
+        ``RoutingConfig(policy=self.router)``.
     seed:
         Seed of the runtime's own randomness (alias sampling, shed
         coin) — independent of the simulator's streams.
@@ -150,6 +156,7 @@ class RuntimeConfig(ConfigBase):
     cache_size: int = 64
     utilization_cap: float = 0.92
     router: str = "swrr"
+    routing: RoutingConfig | None = None
     seed: int = 0
     solver_tol: float | None = None
     supervise: bool = True
@@ -163,6 +170,12 @@ class RuntimeConfig(ConfigBase):
     time_tolerance: float = 1e-6
     obs: ObsConfig = ObsConfig()
     recovery: RecoveryConfig = RecoveryConfig()
+
+    def routing_config(self) -> RoutingConfig:
+        """The effective data-plane config (legacy ``router`` when unset)."""
+        if self.routing is not None:
+            return self.routing
+        return RoutingConfig(policy=self.router)
 
 
 @dataclass(frozen=True)
@@ -297,6 +310,16 @@ class LoadDistributionRuntime:
         self._weights: np.ndarray | None = None
         self._result: LoadDistributionResult | None = None
         self._router = None
+        self._routing = config.routing_config()
+        # Resolving the spec here validates the policy name up front
+        # (before any traffic) and fixes whether completion events must
+        # be journaled for deterministic queue-state replay.
+        self._state_aware = router_spec(self._routing.policy).state_aware
+        # Per-server generic tasks in flight: incremented by _route(),
+        # decremented by observe_completion().  Maintained for every
+        # policy (O(1) either way) so swapping to a state-aware one is
+        # purely a config change.
+        self._inflight: list[int] = [0] * group.n
         if not _restore:
             # A restore skips the initial resolve — the checkpoint codec
             # loads the persisted state instead — and attaches its own
@@ -359,8 +382,8 @@ class LoadDistributionRuntime:
                 # (and in shed-all mode the shed coin in route() already
                 # drops every arrival before the router is consulted).
                 if self._router is None:
-                    self._router = make_router(
-                        self.config.router, self._weights, self._router_rng
+                    self._router = build_router(
+                        self._routing, self._weights, self._router_rng
                     )
                 else:
                     self._router.set_weights(self._weights)
@@ -485,17 +508,44 @@ class LoadDistributionRuntime:
             self.metrics.counters.shed += 1
             dest = -1
         else:
-            dest = self._router.pick()
+            dest = self._router.pick(self._inflight)
+            self._inflight[dest] += 1
             self.metrics.counters.routed += 1
             self.metrics.routed.record(dest)
         if self._recovery is not None:
             self._recovery.record_route(self._now, dest)
         return dest
 
-    def observe_completion(self, task: SimTask, now: float) -> None:
-        """Completion listener: generic response times into the metrics."""
+    def observe_completion(
+        self, task: SimTask, now: float, server_index: int | None = None
+    ) -> None:
+        """Completion listener: queue state down, response time recorded.
+
+        ``server_index`` lets a wrapping dispatcher re-map the task's
+        global server index into this runtime's local index space (the
+        sharded dispatcher owns the global→local mapping); ``None``
+        means the task's own index is already local.
+        """
         if task.task_class is TaskClass.GENERIC:
+            index = task.server_index if server_index is None else server_index
+            if self._recovery is not None and self._state_aware:
+                # Write-ahead only for state-aware policies: their pick
+                # sequence depends on the queue-depth evolution, so a
+                # replay must re-apply completions in journal order.
+                # Static-policy journals stay byte-compatible with PR 5.
+                self._recovery.record_completion(now, index)
+            self._apply_completion(index)
             self.metrics.on_response(task.response_time)
+
+    def _apply_completion(self, index: int) -> None:
+        """Decrement in-flight state and notify the policy (live + replay)."""
+        count = self._inflight[index]
+        if count > 0:
+            # Clamped: a restore mid-run can observe completions of
+            # tasks routed before the journal epoch began.
+            self._inflight[index] = count - 1
+        if self._router is not None:
+            self._router.on_completion(index)
 
 
 class RuntimeHandle:

@@ -19,10 +19,17 @@ behaviour and different short-run character:
 Both support in-place weight updates — the controller swaps splits
 while traffic flows.  Weights may contain zeros (failed or deliberately
 starved servers); routers never pick a zero-weight server.
+
+State-aware policies (power-of-d, join-idle-queue) and the policy
+registry live in :mod:`repro.runtime.policies`; the two classes here
+are registered there under ``"swrr"``/``"wrr"`` and ``"alias"`` and
+implement the same widened :class:`~repro.runtime.policies.RouterPolicy`
+protocol (``pick`` accepts — and ignores — the live queue state).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -38,9 +45,13 @@ __all__ = [
 
 
 class WeightedRouter(Protocol):
-    """A routing backend driven by a (mutable) weight vector."""
+    """A routing backend driven by a (mutable) weight vector.
 
-    def pick(self) -> int:
+    The stateless subset of :class:`repro.runtime.policies.RouterPolicy`;
+    kept for backward compatibility with pre-registry call sites.
+    """
+
+    def pick(self, state: Sequence[int] | None = None) -> int:
         """Index of the server that receives the next task."""
         ...
 
@@ -68,6 +79,34 @@ def _normalize(weights: Sequence[float], n_expected: int | None) -> np.ndarray:
     return w / total
 
 
+def _alias_tables(weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Walker alias tables for a normalized weight vector.
+
+    Returns ``(prob, alias)`` such that sampling slot ``k`` uniformly
+    and accepting it with probability ``prob[k]`` (else routing to
+    ``alias[k]``) reproduces the weights exactly.  Shared by
+    :class:`AliasTableRouter` and the optimal-prior sampler in
+    :mod:`repro.runtime.policies`.
+    """
+    n = weights.size
+    scaled = weights * n
+    prob = np.ones(n)
+    alias = np.arange(n)
+    small = [i for i in range(n) if scaled[i] < 1.0]
+    large = [i for i in range(n) if scaled[i] >= 1.0]
+    scaled = scaled.copy()
+    while small and large:
+        s = small.pop()
+        g = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = g
+        scaled[g] = (scaled[g] + scaled[s]) - 1.0
+        (small if scaled[g] < 1.0 else large).append(g)
+    # Leftovers are exactly 1 up to rounding; their prob stays 1, so
+    # the alias slot is never consulted.
+    return prob, alias
+
+
 class SmoothWeightedRoundRobinRouter:
     """Smooth weighted round-robin with live weight updates.
 
@@ -91,11 +130,14 @@ class SmoothWeightedRoundRobinRouter:
         self._weights = _normalize(weights, self._weights.size)
         self._credit = np.zeros_like(self._weights)
 
-    def pick(self) -> int:
+    def pick(self, state: Sequence[int] | None = None) -> int:
         self._credit += self._weights
         dest = int(np.argmax(self._credit))
         self._credit[dest] -= 1.0
         return dest
+
+    def on_completion(self, server: int) -> None:
+        """Static policy: completions carry no information."""
 
     def state_dict(self) -> dict:
         """JSON-safe snapshot: weights plus the *live* credit vector.
@@ -132,22 +174,7 @@ class AliasTableRouter:
         self._build()
 
     def _build(self) -> None:
-        n = self._weights.size
-        scaled = self._weights * n
-        self._prob = np.ones(n)
-        self._alias = np.arange(n)
-        small = [i for i in range(n) if scaled[i] < 1.0]
-        large = [i for i in range(n) if scaled[i] >= 1.0]
-        scaled = scaled.copy()
-        while small and large:
-            s = small.pop()
-            g = large.pop()
-            self._prob[s] = scaled[s]
-            self._alias[s] = g
-            scaled[g] = (scaled[g] + scaled[s]) - 1.0
-            (small if scaled[g] < 1.0 else large).append(g)
-        # Leftovers are exactly 1 up to rounding; their prob stays 1, so
-        # the alias slot is never consulted.
+        self._prob, self._alias = _alias_tables(self._weights)
 
     @property
     def weights(self) -> np.ndarray:
@@ -157,11 +184,14 @@ class AliasTableRouter:
         self._weights = _normalize(weights, self._weights.size)
         self._build()
 
-    def pick(self) -> int:
+    def pick(self, state: Sequence[int] | None = None) -> int:
         k = int(self._rng.integers(self._weights.size))
         if self._rng.random() < self._prob[k]:
             return k
         return int(self._alias[k])
+
+    def on_completion(self, server: int) -> None:
+        """Static policy: completions carry no information."""
 
     def state_dict(self) -> dict:
         """JSON-safe snapshot: the weights alone suffice.
@@ -181,10 +211,22 @@ class AliasTableRouter:
 def make_router(
     backend: str, weights: Sequence[float], rng: np.random.Generator
 ) -> WeightedRouter:
-    """Build a router backend by name (``"swrr"`` or ``"alias"``)."""
-    name = backend.lower()
-    if name == "swrr":
-        return SmoothWeightedRoundRobinRouter(weights)
-    if name == "alias":
-        return AliasTableRouter(weights, rng)
-    raise ParameterError(f"unknown router backend {backend!r}; use 'swrr' or 'alias'")
+    """Build a router backend by name.
+
+    .. deprecated::
+        Use :func:`repro.runtime.policies.build_router` with a
+        :class:`~repro.runtime.policies.RoutingConfig` instead.  This
+        shim reduces to the same registry lookup and constructs
+        bit-identical routers (same pick sequence for a fixed seed);
+        it raises :class:`~repro.core.exceptions.ParameterError` for
+        unregistered names exactly as before.
+    """
+    warnings.warn(
+        "make_router() is deprecated; use "
+        "repro.runtime.policies.build_router(RoutingConfig(policy=...), ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .policies import RoutingConfig, build_router
+
+    return build_router(RoutingConfig(policy=backend.lower()), weights, rng)

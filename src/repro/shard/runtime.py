@@ -414,10 +414,21 @@ class ShardedDispatcher:
         return int(self._members[shard][local])
 
     def observe_completion(self, task: SimTask, now: float) -> None:
-        """Forward the completion to the runtime owning the server."""
+        """Forward the completion to the runtime owning the server.
+
+        The task carries the *global* server index; the owning runtime
+        keeps its queue state (and any state-aware routing policy) in
+        *local* index space, so the completion is re-mapped through
+        ``_local_of``.  Completions for dead shards are dropped — the
+        restored runtime's in-flight counts come from its checkpoint +
+        journal, and the policies tolerate the resulting stale counts
+        (clamped decrements, validated idle-stack pops).
+        """
         shard = int(self._owner[task.server_index])
         if self._live[shard]:
-            self.runtimes[shard].observe_completion(task, now)
+            self.runtimes[shard].observe_completion(
+                task, now, server_index=int(self._local_of[task.server_index])
+            )
             self.completions_by_shard[shard] += 1
         else:
             self.dropped_completions += 1

@@ -155,7 +155,10 @@ class GroupSimulation:
     completion_listener:
         Optional callable ``listener(task, now)`` invoked at every task
         completion (both classes, warmup included) — the runtime's
-        response-time feedback channel.
+        response-time feedback channel, and the event source from which
+        state-aware routing policies (power-of-d, join-idle-queue)
+        maintain their per-server in-flight counts.  Delivered for every
+        departure, so queue state never drifts from the data plane.
     controls:
         Scheduled control actions ``(time, action)``; each ``action``
         is called as ``action(sim, now)`` when the simulation clock

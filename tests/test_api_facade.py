@@ -163,6 +163,44 @@ class TestMethodRegistry:
             )
 
 
+class TestRouterRegistryFacade:
+    """The routing-policy registry through the top-level facade,
+    mirroring the solver method-registry surface."""
+
+    def test_builtin_policies_registered(self):
+        assert {"swrr", "wrr", "alias", "pod", "jiq"} <= set(
+            repro.available_routers()
+        )
+        specs = repro.registered_routers()
+        assert specs["pod"].state_aware and not specs["swrr"].state_aware
+
+    def test_routing_config_round_trips_through_runtime_config(self):
+        config = repro.RuntimeConfig(
+            routing=repro.RoutingConfig(policy="pod", d=3)
+        )
+        back = repro.RuntimeConfig.from_dict(config.to_dict())
+        assert back == config
+        assert back.routing == repro.RoutingConfig(policy="pod", d=3)
+
+    def test_unknown_policy_raises_with_available_names(self):
+        from repro.runtime.policies import build_router
+
+        with pytest.raises(ParameterError, match="available:"):
+            build_router(
+                repro.RoutingConfig(policy="banana"),
+                [1.0],
+                np.random.default_rng(0),
+            )
+
+    def test_register_router_rejects_duplicates(self):
+        with pytest.raises(ParameterError):
+            repro.register_router("pod", lambda w, rng, cfg: None)
+
+    def test_router_classes_exported(self):
+        assert repro.OptimalPriorPowerOfDRouter is not None
+        assert repro.JoinIdleQueueRouter is not None
+
+
 class TestDeprecationShims:
     """Old entry points warn but stay bit-identical to the facade."""
 
@@ -230,6 +268,9 @@ class TestPublicSurface:
             "ObsConfig",
             "FaultSchedule",
             "random_fault_schedule",
+            "RoutingConfig",
+            "register_router",
+            "available_routers",
         ):
             assert required in repro.__all__
 

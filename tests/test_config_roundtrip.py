@@ -17,10 +17,12 @@ from repro.faults.supervisor import SupervisorConfig
 from repro.obs import ObsConfig, ObsError
 from repro.recovery import RecoveryConfig
 from repro.runtime.loop import RuntimeConfig
+from repro.runtime.policies import RoutingConfig
 
 #: (config class, a non-default instance exercising nested/tuple/enum fields)
 CASES = [
     (ObsConfig, ObsConfig(enabled=True, trace_capacity=128, profile=True)),
+    (RoutingConfig, RoutingConfig(policy="pod", d=4)),
     (
         RecoveryConfig,
         RecoveryConfig(
@@ -49,6 +51,7 @@ CASES = [
             fallback_methods=("kkt",),
             obs=ObsConfig(enabled=True, metrics=False),
             recovery=RecoveryConfig(enabled=True, directory="x", fsync=True),
+            routing=RoutingConfig(policy="jiq"),
         ),
     ),
 ]
@@ -90,6 +93,15 @@ def test_nested_configs_rebuild_as_configs():
     assert isinstance(rebuilt.obs, ObsConfig)
     assert isinstance(rebuilt.recovery, RecoveryConfig)
     assert rebuilt.recovery.directory == "d"
+
+
+def test_optional_routing_arm_round_trips():
+    # routing is `RoutingConfig | None`: both arms must survive.
+    assert RuntimeConfig.from_dict(RuntimeConfig().to_dict()).routing is None
+    cfg = RuntimeConfig(routing=RoutingConfig(policy="pod", d=3))
+    rebuilt = RuntimeConfig.from_dict(cfg.to_dict())
+    assert isinstance(rebuilt.routing, RoutingConfig)
+    assert rebuilt.routing.d == 3
 
 
 def test_unknown_key_in_nested_config_rejected():

@@ -47,6 +47,7 @@ from repro.runtime.loop import (
     RuntimeConfig,
     run_closed_loop,
 )
+from repro.runtime.policies import RoutingConfig
 from repro.sim.task import TaskClass
 from repro.workloads.traces import RateTrace
 
@@ -344,6 +345,58 @@ class TestCrashEquivalence:
                 os.makedirs(dest, exist_ok=True)
                 for name in os.listdir(tmp_path / "rec"):
                     shutil.copy(os.path.join(tmp_path / "rec", name), dest)
+
+    @pytest.mark.parametrize("policy", ["pod", "jiq"])
+    @pytest.mark.parametrize("seed", [0, 3, 6])
+    def test_state_aware_policy_crash_equivalence(self, tmp_path, group, seed, policy):
+        """Crash mid-run under a state-aware policy replays to the
+        identical routed-task sequence: queue-depth state reconstructed
+        from the checkpoint's in-flight vector plus the journaled
+        completion records."""
+        routing = RoutingConfig(policy=policy, d=2)
+        crash_at = 90.0 + 40.0 * seed
+
+        def run(directory, crash):
+            config = (
+                _config(directory, routing=routing)
+                if directory
+                else RuntimeConfig(routing=routing)
+            )
+            plan = _crash_plan(crash, seed=seed) if crash is not None else None
+            return run_closed_loop(
+                group,
+                RateTrace.constant(RATE),
+                config,
+                horizon=HORIZON,
+                seed=seed,
+                fault_plan=plan,
+                collect_tasks=True,
+            )
+
+        baseline = run(None, None)
+        crashed = run(str(tmp_path / "rec"), crash_at)
+
+        assert len(crashed.restores) == 1
+        report = crashed.restores[0]
+        assert report.divergences == 0
+        # The journal tail must actually contain completion records —
+        # otherwise this test is not exercising queue-state replay.
+        scan = read_journal(os.path.join(str(tmp_path / "rec"), JOURNAL_NAME))
+        assert any(r.kind == "complete" for r in scan.records)
+
+        assert _generic_tasks(baseline) == _generic_tasks(crashed)
+        assert baseline.runtime.resolve_log == crashed.runtime.resolve_log
+        assert dataclasses.asdict(baseline.metrics.counters) == dataclasses.asdict(
+            crashed.metrics.counters
+        )
+
+    def test_static_policy_journals_no_completions(self, tmp_path, group):
+        """Static-policy journals stay byte-compatible with the PR 5
+        layout: no "complete" records are ever written."""
+        d = str(tmp_path / "rec")
+        _run(group, d, seed=2)
+        scan = read_journal(os.path.join(d, JOURNAL_NAME))
+        assert scan.records and not any(r.kind == "complete" for r in scan.records)
 
     def test_restore_survives_torn_journal_tail(self, tmp_path, group):
         d = str(tmp_path / "rec")

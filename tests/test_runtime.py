@@ -210,9 +210,13 @@ class TestAliasTableRouter:
 
 def test_make_router_dispatches_and_validates():
     rng = np.random.default_rng(0)
-    assert isinstance(make_router("swrr", [1.0], rng), SmoothWeightedRoundRobinRouter)
-    assert isinstance(make_router("alias", [1.0], rng), AliasTableRouter)
-    with pytest.raises(ParameterError):
+    with pytest.warns(DeprecationWarning):
+        assert isinstance(
+            make_router("swrr", [1.0], rng), SmoothWeightedRoundRobinRouter
+        )
+    with pytest.warns(DeprecationWarning):
+        assert isinstance(make_router("alias", [1.0], rng), AliasTableRouter)
+    with pytest.warns(DeprecationWarning), pytest.raises(ParameterError):
         make_router("nope", [1.0], rng)
 
 

@@ -91,6 +91,7 @@ from .faults.schedule import FaultSchedule, FaultSpec, random_fault_schedule
 from .obs import ObsConfig, configure, get_obs, reset_obs
 from .recovery import RecoveryConfig
 from .recovery.resume import RestoreReport, restore_runtime
+from .runtime.admission import AdmissionConfig
 from .runtime.loop import ClosedLoopResult, RuntimeConfig, run_closed_loop
 from .runtime.policies import (
     JoinIdleQueueRouter,
@@ -133,6 +134,8 @@ __all__ = [
     "run_closed_loop",
     "RuntimeConfig",
     "ClosedLoopResult",
+    # Overload survival (priority admission control).
+    "AdmissionConfig",
     # Routing policy registry (data plane).
     "RoutingConfig",
     "available_routers",

@@ -47,10 +47,14 @@ Targeted injection::
 from .chaos import (
     ChaosRunRecord,
     ChaosSuiteReport,
+    OverloadRunRecord,
+    OverloadSuiteReport,
     ShardChaosRunRecord,
     ShardChaosSuiteReport,
+    compile_overload_trace,
     dump_chaos_artifacts,
     run_chaos,
+    run_overload_chaos,
     run_sharded_chaos,
 )
 from .injectors import (
@@ -63,6 +67,7 @@ from .schedule import (
     ESTIMATOR_FAULT_KINDS,
     FAULT_KINDS,
     HEALTH_FAULT_KINDS,
+    OVERLOAD_FAULT_KINDS,
     SHARD_FAULT_KINDS,
     SOLVER_FAULT_KINDS,
     FaultSchedule,
@@ -80,6 +85,7 @@ __all__ = [
     "ESTIMATOR_FAULT_KINDS",
     "FAULT_KINDS",
     "HEALTH_FAULT_KINDS",
+    "OVERLOAD_FAULT_KINDS",
     "SHARD_FAULT_KINDS",
     "SOLVER_FAULT_KINDS",
     "ChaosRunRecord",
@@ -88,16 +94,20 @@ __all__ = [
     "FaultSchedule",
     "FaultSpec",
     "FaultyRateEstimator",
+    "OverloadRunRecord",
+    "OverloadSuiteReport",
     "ResilienceSupervisor",
     "ShardChaosRunRecord",
     "ShardChaosSuiteReport",
     "SolverFaultInjector",
     "SupervisedOutcome",
     "SupervisorConfig",
+    "compile_overload_trace",
     "dump_chaos_artifacts",
     "health_control_events",
     "proportional_split",
     "random_fault_schedule",
     "run_chaos",
+    "run_overload_chaos",
     "run_sharded_chaos",
 ]

@@ -49,15 +49,24 @@ from ..recovery.journal import atomic_write_json
 from ..runtime.loop import RuntimeConfig, run_closed_loop
 from ..workloads.traces import RateTrace
 from .injectors import FaultPlan
-from .schedule import SHARD_FAULT_KINDS, FaultSchedule, random_fault_schedule
+from .schedule import (
+    SHARD_FAULT_KINDS,
+    FaultSchedule,
+    FaultSpec,
+    random_fault_schedule,
+)
 
 __all__ = [
     "ChaosRunRecord",
     "ChaosSuiteReport",
     "ShardChaosRunRecord",
     "ShardChaosSuiteReport",
+    "OverloadRunRecord",
+    "OverloadSuiteReport",
     "run_chaos",
     "run_sharded_chaos",
+    "run_overload_chaos",
+    "compile_overload_trace",
     "dump_chaos_artifacts",
 ]
 
@@ -795,6 +804,346 @@ def run_sharded_chaos(
             )
         )
     return ShardChaosSuiteReport(records=tuple(records), analytic_t_prime=analytic)
+
+
+@dataclass(frozen=True)
+class OverloadRunRecord:
+    """Audit of one seeded overload run (burst + retrying clients)."""
+
+    #: The seed (drives the sim streams, class draws, and backoff jitter).
+    seed: int
+    #: The schedule the run was subjected to (declarative form).
+    schedule: dict
+    #: Whether the closed loop ran to the horizon without an exception.
+    completed: bool
+    #: The escaped exception, when ``completed`` is False.
+    error: str | None
+    #: Client retries scheduled (timeout duplicates + re-offered sheds).
+    retried: int = 0
+    #: Client-timeout firings on still-incomplete tasks.
+    timeouts: int = 0
+    #: Offers dropped after their class's retry budget ran out.
+    abandoned: int = 0
+    #: Offers presented to the dispatcher, per priority class (whole run,
+    #: retries included).
+    offered_by_class: tuple = ()
+    #: Offers shed at the dispatcher, per priority class (whole run).
+    shed_by_class: tuple = ()
+    #: Shed fraction of priority class 0 over the whole run.
+    class0_shed_fraction: float = 0.0
+    #: Fraction of all offered arrivals shed over the whole run.
+    shed_fraction_observed: float = 0.0
+    #: Brownout state entries per target state (empty without admission).
+    brownout_transitions: dict = field(default_factory=dict)
+    #: Incident totals per kind.
+    incident_counts: dict = field(default_factory=dict)
+    #: Retained incident records (dict form), for artifacts.
+    incidents: tuple = ()
+    #: Mean generic ``T'`` over the post-burst tail window.
+    tail_mean: float = math.nan
+    #: Tasks the tail mean averages over.
+    tail_count: int = 0
+    #: The analytic optimum at the base (fresh-traffic) rate.
+    analytic_t_prime: float = math.nan
+    #: ``|tail_mean - analytic| / analytic``.
+    tail_relative_error: float = math.nan
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for CI artifacts."""
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "completed": self.completed,
+            "error": self.error,
+            "retried": self.retried,
+            "timeouts": self.timeouts,
+            "abandoned": self.abandoned,
+            "offered_by_class": list(self.offered_by_class),
+            "shed_by_class": list(self.shed_by_class),
+            "class0_shed_fraction": self.class0_shed_fraction,
+            "shed_fraction_observed": self.shed_fraction_observed,
+            "brownout_transitions": dict(self.brownout_transitions),
+            "incident_counts": dict(self.incident_counts),
+            "incidents": list(self.incidents),
+            "tail_mean": self.tail_mean,
+            "tail_count": self.tail_count,
+            "analytic_t_prime": self.analytic_t_prime,
+            "tail_relative_error": self.tail_relative_error,
+        }
+
+
+@dataclass(frozen=True)
+class OverloadSuiteReport:
+    """Aggregate verdict over every seeded overload run.
+
+    Duck-compatible with :func:`dump_chaos_artifacts` (``to_dict``,
+    ``records`` with per-seed ``seed`` / ``incidents``).
+    """
+
+    records: tuple[OverloadRunRecord, ...]
+    analytic_t_prime: float
+
+    @property
+    def n_runs(self) -> int:
+        """Number of seeded runs in the suite."""
+        return len(self.records)
+
+    @property
+    def all_completed(self) -> bool:
+        """Whether every run finished without an escaped exception."""
+        return all(r.completed for r in self.records)
+
+    @property
+    def failed_seeds(self) -> tuple[int, ...]:
+        """Seeds whose runs raised."""
+        return tuple(r.seed for r in self.records if not r.completed)
+
+    @property
+    def total_retried(self) -> int:
+        """Client retries summed over all runs."""
+        return sum(r.retried for r in self.records)
+
+    @property
+    def total_timeouts(self) -> int:
+        """Client-timeout duplicates summed over all runs."""
+        return sum(r.timeouts for r in self.records)
+
+    @property
+    def total_abandoned(self) -> int:
+        """Budget-exhausted abandonments summed over all runs."""
+        return sum(r.abandoned for r in self.records)
+
+    @property
+    def max_class0_shed_fraction(self) -> float:
+        """Worst priority-0 shed fraction across completed runs."""
+        done = [r.class0_shed_fraction for r in self.records if r.completed]
+        return max(done) if done else math.nan
+
+    @property
+    def tail_means(self) -> np.ndarray:
+        """Post-burst tail means of the completed runs."""
+        return np.array(
+            [r.tail_mean for r in self.records if r.completed], dtype=float
+        )
+
+    def tail_confidence_interval(
+        self, confidence: float = 0.99
+    ) -> tuple[float, float]:
+        """Replication CI over the per-seed post-burst tail means."""
+        return _replication_ci(self.tail_means, confidence)
+
+    def recovered(self, confidence: float = 0.99) -> bool:
+        """Whether the analytic base-rate ``T'`` lies inside the CI —
+        the run *recovered* from the burst instead of going metastable."""
+        lo, hi = self.tail_confidence_interval(confidence)
+        return lo <= self.analytic_t_prime <= hi
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form for CI artifacts."""
+        return {
+            "n_runs": self.n_runs,
+            "all_completed": self.all_completed,
+            "failed_seeds": list(self.failed_seeds),
+            "total_retried": self.total_retried,
+            "total_timeouts": self.total_timeouts,
+            "total_abandoned": self.total_abandoned,
+            "max_class0_shed_fraction": self.max_class0_shed_fraction,
+            "analytic_t_prime": self.analytic_t_prime,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def render(self) -> str:
+        """Human-readable per-seed summary table."""
+        lines = [
+            f"{'seed':>5} {'ok':>3} {'retry':>7} {'t/o':>7} {'aband':>6} "
+            f"{'shed':>6} {'cls0':>6} {'tail T_':>9} {'rel.err':>8}"
+        ]
+        for r in self.records:
+            lines.append(
+                f"{r.seed:>5} {'y' if r.completed else 'N':>3} "
+                f"{r.retried:>7} {r.timeouts:>7} {r.abandoned:>6} "
+                f"{r.shed_fraction_observed:>6.3f} "
+                f"{r.class0_shed_fraction:>6.4f} "
+                f"{r.tail_mean:>9.4f} {r.tail_relative_error:>8.4f}"
+            )
+        lines.append(f"analytic T' = {self.analytic_t_prime:.5f}")
+        return "\n".join(lines)
+
+
+def compile_overload_trace(
+    rate: float, schedule: FaultSchedule
+) -> RateTrace:
+    """Compile a schedule's ``burst-overload`` windows into a rate trace.
+
+    Each window multiplies the base ``rate`` by its ``factor`` over
+    ``[start, end)``.  Overlapping windows are rejected by
+    :class:`~repro.workloads.traces.RateTrace` validation.
+    """
+    steps: list[tuple[float, float]] = []
+    for spec in schedule.of_kinds(("burst-overload",)):
+        factor = float(spec.params.get("factor", 2.0))
+        steps.append((spec.start, rate * factor))
+        steps.append((spec.end, rate))
+    if not steps:
+        return RateTrace.constant(rate)
+    return RateTrace(rate, tuple(sorted(steps)))
+
+
+def run_overload_chaos(
+    group: BladeServerGroup,
+    rate: float,
+    *,
+    seeds: Sequence[int],
+    horizon: float,
+    workload,
+    config: RuntimeConfig | None = None,
+    schedule_factory: Callable[[int], FaultSchedule] | None = None,
+    burst_at: float | None = None,
+    burst_factor: float = 2.0,
+    burst_duration: float | None = None,
+    retry_storm: bool = False,
+    settle: float | None = None,
+) -> OverloadSuiteReport:
+    """Run the overload-survival suite: burst + retrying clients.
+
+    The scenario behind the metastable-failure demonstration: the
+    offered rate bursts past capacity (``burst-overload``), every
+    admitted task's sojourn climbs past the clients' timeout, and the
+    timed-out clients re-offer duplicates while the originals are still
+    in service.  Whether the system *recovers* once the burst ends —
+    tail mean back at the analytic base-rate ``T'`` — depends entirely
+    on the ``config``/``workload`` pair: blunt shed-to-cap with
+    generous retry budgets sustains the overload (metastable); priority
+    admission control plus budgeted backoff drains it.
+
+    Parameters
+    ----------
+    group, rate:
+        The cluster and the base (fresh-traffic) generic rate.
+    seeds:
+        One closed-loop run per seed; the schedule is shared, the
+        simulator streams (arrivals, services, class draws, backoff
+        jitter) vary per seed.
+    horizon:
+        Simulated length of each run.
+    workload:
+        The :class:`~repro.sim.arrivals.ClientWorkload` describing
+        class shares and the retry policy — the experiment's client arm.
+    config:
+        Runtime tuning — the experiment's server arm.  Defaults to the
+        supervised alias-router setup with admission *off* (the
+        metastable arm); pass ``RuntimeConfig(admission=...)`` for the
+        survival arm.
+    schedule_factory:
+        Optional ``seed -> FaultSchedule`` override; defaults to one
+        fixed ``burst-overload`` window (plus an overlapping
+        ``retry-storm`` when ``retry_storm`` is set) so every seed sees
+        the same demand shape.
+    burst_at, burst_factor, burst_duration:
+        The default schedule's burst window; ``burst_at`` defaults to
+        15% of the horizon and ``burst_duration`` to another 15%.
+    retry_storm:
+        Add a ``retry-storm`` window covering the burst (backoff
+        delays slashed to 10%) to the default schedule.
+    settle:
+        Time after the last fault window before the recovery tail
+        starts; defaults to 30% of the post-fault stretch.
+    """
+    if config is None:
+        config = RuntimeConfig(router="alias")
+    start = 0.15 * horizon if burst_at is None else burst_at
+    duration = 0.15 * horizon if burst_duration is None else burst_duration
+    analytic = dispatch(group, rate, config.discipline).mean_response_time
+    records: list[OverloadRunRecord] = []
+    for seed in seeds:
+        if schedule_factory is not None:
+            schedule = schedule_factory(seed)
+        else:
+            specs = [
+                FaultSpec(
+                    kind="burst-overload",
+                    start=start,
+                    end=start + duration,
+                    params={"factor": burst_factor},
+                )
+            ]
+            if retry_storm:
+                specs.append(
+                    FaultSpec(
+                        kind="retry-storm",
+                        start=start,
+                        end=start + duration,
+                        params={"backoff_scale": 0.1},
+                    )
+                )
+            schedule = FaultSchedule(specs, seed=seed)
+        trace = compile_overload_trace(rate, schedule)
+        plan = FaultPlan(schedule)
+        try:
+            out = run_closed_loop(
+                group,
+                trace,
+                config,
+                horizon=horizon,
+                warmup=0.0,
+                seed=seed,
+                fault_plan=plan,
+                collect_tasks=True,
+                workload=workload,
+            )
+        except Exception as exc:  # noqa: BLE001 - the suite must report, not die
+            records.append(
+                OverloadRunRecord(
+                    seed=seed,
+                    schedule=schedule.to_dict(),
+                    completed=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    analytic_t_prime=analytic,
+                )
+            )
+            continue
+        fault_end = schedule.last_fault_end
+        pad = settle if settle is not None else 0.3 * (horizon - fault_end)
+        tail_start = min(fault_end + pad, horizon * 0.95)
+        tail = [
+            t.response_time
+            for t in out.sim.task_log
+            if t.task_class.name == "GENERIC" and t.arrival_time >= tail_start
+        ]
+        tail_mean = float(np.mean(tail)) if tail else math.nan
+        sim = out.sim
+        offered = tuple(int(v) for v in sim.offered_by_class)
+        shed = tuple(int(v) for v in sim.shed_by_class)
+        cls0_offered = offered[0] if offered else 0
+        cls0_shed = shed[0] if shed else 0
+        metrics = out.metrics
+        records.append(
+            OverloadRunRecord(
+                seed=seed,
+                schedule=schedule.to_dict(),
+                completed=True,
+                error=None,
+                retried=sim.generic_retried,
+                timeouts=sim.generic_timeouts,
+                abandoned=sim.generic_abandoned,
+                offered_by_class=offered,
+                shed_by_class=shed,
+                class0_shed_fraction=(
+                    cls0_shed / cls0_offered if cls0_offered else 0.0
+                ),
+                shed_fraction_observed=metrics.shed_fraction_observed,
+                brownout_transitions=dict(metrics.admission.transitions),
+                incident_counts=dict(metrics.incidents.counts),
+                incidents=tuple(r.to_dict() for r in metrics.incidents),
+                tail_mean=tail_mean,
+                tail_count=len(tail),
+                analytic_t_prime=analytic,
+                tail_relative_error=(
+                    abs(tail_mean - analytic) / analytic if tail else math.nan
+                ),
+            )
+        )
+    return OverloadSuiteReport(records=tuple(records), analytic_t_prime=analytic)
 
 
 def dump_chaos_artifacts(report: ChaosSuiteReport, directory: str) -> list[str]:

@@ -33,6 +33,7 @@ from .schedule import (
     CRASH_FAULT_KINDS,
     ESTIMATOR_FAULT_KINDS,
     HEALTH_FAULT_KINDS,
+    OVERLOAD_FAULT_KINDS,
     SHARD_FAULT_KINDS,
     SOLVER_FAULT_KINDS,
     FaultSchedule,
@@ -309,6 +310,18 @@ class FaultPlan:
         :class:`~repro.shard.supervisor.ShardSupervisor`.
         """
         return self.schedule.of_kinds(SHARD_FAULT_KINDS)
+
+    @property
+    def overload_specs(self) -> tuple[FaultSpec, ...]:
+        """Overload fault windows (``burst-overload``/``retry-storm``).
+
+        ``retry-storm`` windows are compiled by
+        :func:`repro.runtime.loop.run_closed_loop` into backoff-scale
+        control events; ``burst-overload`` windows are compiled by the
+        overload chaos harness into the run's
+        :class:`~repro.workloads.traces.RateTrace`.
+        """
+        return self.schedule.of_kinds(OVERLOAD_FAULT_KINDS)
 
     def state_dict(self) -> dict:
         """JSON-safe snapshot of the injection RNG streams.

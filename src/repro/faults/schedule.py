@@ -67,6 +67,19 @@ Fault kinds
     torn/corrupt tail before recovery runs — exercising the CRC-framed
     torn-write truncation path at shard scope.  Point event; requires
     recovery.
+``burst-overload``
+    The offered arrival rate is multiplied by ``factor`` (default 2.0)
+    over ``[start, end)`` — a demand burst past fleet capacity.  The
+    overload chaos harness compiles this into the run's
+    :class:`~repro.workloads.traces.RateTrace` (see
+    :meth:`RateTrace.burst <repro.workloads.traces.RateTrace.burst>`);
+    inside :func:`~repro.runtime.loop.run_closed_loop` alone it is a
+    documented no-op, since the trace is an explicit argument there.
+``retry-storm``
+    Retrying clients panic over ``[start, end)``: their backoff delays
+    are scaled by ``backoff_scale`` (default 0.1 — ten times more
+    aggressive), then restored at ``end``.  Combined with
+    ``burst-overload`` this is the classic metastable-failure recipe.
 
 Coordinator solver faults reuse the plain ``solver-error`` /
 ``solver-latency`` kinds scoped to ``methods=("sharded",)`` — the
@@ -90,6 +103,7 @@ __all__ = [
     "HEALTH_FAULT_KINDS",
     "CRASH_FAULT_KINDS",
     "SHARD_FAULT_KINDS",
+    "OVERLOAD_FAULT_KINDS",
     "FAULT_KINDS",
     "FaultSpec",
     "FaultSchedule",
@@ -103,12 +117,14 @@ ESTIMATOR_FAULT_KINDS = frozenset(
 HEALTH_FAULT_KINDS = frozenset({"server-down", "server-flap", "correlated-outage"})
 CRASH_FAULT_KINDS = frozenset({"crash"})
 SHARD_FAULT_KINDS = frozenset({"shard-crash", "shard-stall", "shard-journal-corrupt"})
+OVERLOAD_FAULT_KINDS = frozenset({"burst-overload", "retry-storm"})
 FAULT_KINDS = (
     SOLVER_FAULT_KINDS
     | ESTIMATOR_FAULT_KINDS
     | HEALTH_FAULT_KINDS
     | CRASH_FAULT_KINDS
     | SHARD_FAULT_KINDS
+    | OVERLOAD_FAULT_KINDS
 )
 
 #: Kinds whose window may collapse to an instant (``start == end``).
@@ -184,6 +200,16 @@ class FaultSpec:
             if not servers:
                 raise ParameterError(
                     "'correlated-outage' needs a non-empty 'servers' sequence"
+                )
+        if self.kind == "burst-overload":
+            factor = p.get("factor", 2.0)
+            if not (math.isfinite(factor) and factor > 0.0):
+                raise ParameterError(f"burst factor must be > 0, got {factor!r}")
+        if self.kind == "retry-storm":
+            scale = p.get("backoff_scale", 0.1)
+            if not (math.isfinite(scale) and scale > 0.0):
+                raise ParameterError(
+                    f"backoff_scale must be > 0, got {scale!r}"
                 )
         if self.kind in SHARD_FAULT_KINDS:
             shard = p.get("shard")
@@ -291,6 +317,7 @@ def random_fault_schedule(
     allow_crash: bool = False,
     allow_shard_faults: bool = False,
     n_shards: int = 0,
+    allow_overload: bool = False,
 ) -> FaultSchedule:
     """Draw a randomized-but-reproducible chaos schedule.
 
@@ -330,6 +357,12 @@ def random_fault_schedule(
     n_shards:
         Size of the shard fleet the shard-targeted faults pick indices
         from; required (>= 1) when ``allow_shard_faults`` is set.
+    allow_overload:
+        Whether to add one ``burst-overload`` window plus, with
+        probability one half, an overlapping ``retry-storm``.  Drawn
+        *after* the shard-fault block — same pinning rule as the other
+        opt-in draws: enabling it never perturbs what an existing seed
+        produces with it off.
     """
     if n_servers < 1:
         raise ParameterError(f"n_servers must be >= 1, got {n_servers}")
@@ -444,4 +477,35 @@ def random_fault_schedule(
                 params["latency"] = float(rng.uniform(0.5, 5.0))
             if end > start:
                 specs.append(FaultSpec(kind=kind, start=start, end=end, params=params))
+    if allow_overload:
+        # Drawn last (after base -> crash -> shard) so every schedule an
+        # existing seed produced stays byte-identical with this flag off.
+        start = float(rng.uniform(0.1, 0.45) * fault_end)
+        length = float(rng.uniform(0.1, 0.25) * fault_end)
+        end = min(start + max(length, 1e-6), fault_end)
+        factor = float(rng.uniform(1.5, 2.5))
+        specs.append(
+            FaultSpec(
+                kind="burst-overload",
+                start=start,
+                end=end,
+                params={"factor": factor},
+            )
+        )
+        if rng.random() < 0.5:
+            # Retry storm overlapping the burst's tail — the clients
+            # panic while queues are still long.
+            storm_start = float(rng.uniform(start, end))
+            storm_end = min(
+                storm_start + float(rng.uniform(0.1, 0.3)) * fault_end, fault_end
+            )
+            if storm_end > storm_start:
+                specs.append(
+                    FaultSpec(
+                        kind="retry-storm",
+                        start=storm_start,
+                        end=storm_end,
+                        params={"backoff_scale": float(rng.uniform(0.05, 0.3))},
+                    )
+                )
     return FaultSchedule(specs, seed=seed)

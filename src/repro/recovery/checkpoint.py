@@ -49,7 +49,11 @@ __all__ = [
 #: v2: RuntimeConfig grew the ``routing`` knob (changing the persisted
 #: config dict) and the runtime section gained the per-server in-flight
 #: vector that state-aware policies route on.
-SCHEMA_VERSION = 2
+#: v3: RuntimeConfig grew the ``admission`` knob and the snapshot an
+#: ``admission`` section (the controller's bucket/AQM/brownout state);
+#: route records may carry ``cls``/``att`` and completion records
+#: ``rt`` when admission is enabled.
+SCHEMA_VERSION = 3
 
 _CHECKPOINT_PREFIX = "checkpoint-"
 _CHECKPOINT_SUFFIX = ".json"
@@ -226,6 +230,9 @@ class CheckpointCodec:
                 "resolve_log": [asdict(ev) for ev in runtime.resolve_log],
                 "inflight": [int(c) for c in runtime._inflight],
             },
+            "admission": None
+            if runtime._admission is None
+            else runtime._admission.state_dict(),
             "metrics": runtime.metrics.state_dict(),
             "rng": {
                 "shed": generator_state(runtime._shed_rng),
@@ -312,6 +319,12 @@ class CheckpointCodec:
                 )
             runtime._router.load_state(snapshot["router"])
 
+        if snapshot["admission"] is not None:
+            if runtime._admission is None:  # pragma: no cover - config guard above
+                raise RecoveryError(
+                    "admission state without an admission controller", path=path
+                )
+            runtime._admission.load_state(snapshot["admission"])
         runtime.metrics.load_state(snapshot["metrics"])
         set_generator_state(runtime._shed_rng, snapshot["rng"]["shed"])
         set_generator_state(runtime._router_rng, snapshot["rng"]["router"])
@@ -411,23 +424,46 @@ class RecoveryManager:
         self._writer.append(now, "resolve", asdict(event))
         self._decisions_since_checkpoint += 1
 
-    def record_route(self, now: float, dest: int) -> None:
+    def record_route(
+        self,
+        now: float,
+        dest: int,
+        *,
+        cls: int | None = None,
+        attempt: int | None = None,
+    ) -> None:
         """Journal one routing decision (``dest=-1`` = shed), then
         checkpoint if the decision cadence says so — this is a safe
-        point: the arrival is fully processed and its record is in."""
-        self._writer.append(now, "route", {"dest": int(dest)})
+        point: the arrival is fully processed and its record is in.
+
+        ``cls``/``attempt`` are stamped only when admission control is
+        on: replay rebuilds the same admission verdicts from them.
+        Without admission the record stays byte-identical to schema v1.
+        """
+        data: dict = {"dest": int(dest)}
+        if cls is not None:
+            data["cls"] = int(cls)
+            data["att"] = 0 if attempt is None else int(attempt)
+        self._writer.append(now, "route", data)
         self.safe_point()
 
-    def record_completion(self, now: float, server: int) -> None:
-        """Journal one task completion (state-aware policies only).
+    def record_completion(
+        self, now: float, server: int, *, rt: float | None = None
+    ) -> None:
+        """Journal one task completion (state-aware policies and
+        admission-enabled runtimes).
 
         Replay re-applies completions in journal order so the queue-
         depth evolution a power-of-d/JIQ pick depends on is rebuilt
-        bit-identically.  No ``safe_point()`` here: the checkpoint
-        cadence stays a pure function of control decisions, exactly as
-        in schema v1.
+        bit-identically; ``rt`` (stamped only under admission) re-feeds
+        the sojourn AQM the same response times.  No ``safe_point()``
+        here: the checkpoint cadence stays a pure function of control
+        decisions, exactly as in schema v1.
         """
-        self._writer.append(now, "complete", {"server": int(server)})
+        data: dict = {"server": int(server)}
+        if rt is not None:
+            data["rt"] = float(rt)
+        self._writer.append(now, "complete", data)
 
     def record_health(self, now: float, server: int, kind: str) -> None:
         """Journal a health signal *before* the runtime processes it."""

@@ -189,14 +189,29 @@ def restore_runtime(
             replayed += 1
             if record.kind == "route":
                 runtime.observe_arrival(record.t)
-                dest = runtime._route()
+                if "cls" in record.data:
+                    # Admission-stamped record: rebuild the same offer so
+                    # the (deterministic) admission verdict replays too.
+                    from ..sim.arrivals import Offer
+
+                    dest = runtime._route(
+                        Offer(
+                            cls=int(record.data["cls"]),
+                            attempt=int(record.data.get("att", 0)),
+                        )
+                    )
+                else:
+                    dest = runtime._route()
                 if recovery.verify_replay and dest != record.data["dest"]:
                     divergences += 1
             elif record.kind == "complete":
-                # Journaled only under state-aware routing policies:
-                # re-applying completions in order rebuilds the queue-
-                # depth evolution the replayed picks depend on.
+                # Journaled under state-aware routing policies and under
+                # admission control: re-applying completions in order
+                # rebuilds the queue-depth evolution the replayed picks
+                # depend on; the rt stamp re-feeds the sojourn AQM.
                 runtime._apply_completion(record.data["server"])
+                if "rt" in record.data:
+                    runtime._observe_sojourn(record.t, float(record.data["rt"]))
             elif record.kind == "health":
                 if record.data["kind"] == "down":
                     runtime.server_down(record.data["server"], record.t)

@@ -1,0 +1,392 @@
+"""Priority admission control: token bucket, CoDel-style AQM, brownout.
+
+The paper's model — and every solver backend in :mod:`repro.core` —
+assumes offered load strictly below fleet capacity.  The health plane's
+only over-capacity defense is the blunt shed-to-cap path: a uniform
+coin flip that drops the excess fraction of *every* class.  That is
+enough to keep the queues finite, but it is exactly the configuration
+that dies in the classic *metastable* failure mode: a transient burst
+pushes sojourn times past the client timeout, timed-out clients re-offer
+their work while the original copy is still in queue, and the resulting
+retry storm holds the system above capacity long after the burst ends.
+
+This module supplies the missing layer: a deterministic, per-dispatcher
+admission controller with priority classes and two composable policies,
+
+* a **token bucket** seeded from the KKT-optimal capacity estimate
+  (``utilization_cap × active_group().max_generic_rate``, re-seeded on
+  every resolve so health-plane degradation shrinks the budget), with
+  per-class *priority reserves*: class 0 may drain the bucket to the
+  floor while class ``c`` needs ``1 + step·c`` tokens, so the lowest
+  classes are rejected first as the bucket empties;
+* a **CoDel-style queue-delay AQM**: an EWMA sojourn estimate fed by
+  completion times; when it stays above ``target_delay`` for a full
+  ``interval`` the controller escalates one *drop level* (shedding the
+  lowest remaining class) and shrinks the next interval by the CoDel
+  control law ``interval / sqrt(level)``; dwell below target de-escalates
+  one level at a time;
+
+plus a **brownout state machine** (``normal → brownout → shed-all``)
+derived from the drop level with hysteresis dwell, so a dying cluster
+degrades by shedding low-priority work instead of tripping
+:class:`~repro.core.exceptions.ClusterDownError` at the dispatcher.
+
+Everything here is deterministic — no RNG is consumed — so the journal
+replay of ``(class, attempt)``-stamped route records plus
+``rt``-stamped completion records reconstructs bit-identical decisions
+after a crash (see :mod:`repro.recovery.resume`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.exceptions import ParameterError
+from ..obs import ConfigBase
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ADMISSION_POLICIES",
+    "BROWNOUT_STATES",
+]
+
+#: Recognized values for :attr:`AdmissionConfig.policy`.
+ADMISSION_POLICIES = ("token-bucket", "codel", "both")
+
+#: The brownout state machine's states, in escalation order.
+BROWNOUT_STATES = ("normal", "brownout", "shed-all")
+
+
+@dataclass(frozen=True, kw_only=True)
+class AdmissionConfig(ConfigBase):
+    """Admission-control knobs nested in ``RuntimeConfig.admission``.
+
+    ``None`` (the :class:`~repro.runtime.loop.RuntimeConfig` default)
+    disables the layer entirely — the runtime behaves bit-identically
+    to prior releases, including byte-compatible journals.
+
+    Parameters
+    ----------
+    classes:
+        Number of priority classes.  Class 0 is the highest priority;
+        the AQM never sheds it short of the ``shed-all`` state.
+    policy:
+        ``"token-bucket"``, ``"codel"``, or ``"both"`` (compose).
+    bucket_depth:
+        Token bucket depth in tasks — the admissible burst size.
+    headroom:
+        Multiplier on the capacity-derived refill rate.  1.0 refills at
+        exactly ``utilization_cap × capacity``.
+    reserve:
+        Priority-reserve fraction: class ``c > 0`` requires
+        ``1 + c · reserve · bucket_depth / (classes - 1)`` tokens, so
+        reserves stack toward the high classes.  Class 0 admits even on
+        an empty bucket (it still consumes available tokens).
+    target_delay:
+        CoDel sojourn target (simulated time units).  The EWMA sojourn
+        estimate staying above this for a full interval escalates the
+        drop level.
+    interval:
+        Base CoDel interval; successive escalations use
+        ``interval / sqrt(level)``.
+    sojourn_tc:
+        EWMA time constant of the sojourn estimator.
+    shed_all_factor:
+        Sojourn multiple of ``target_delay`` beyond which the top drop
+        level (shed-all) becomes reachable.  Below it the AQM caps at
+        ``classes - 1`` so class 0 keeps flowing.
+    min_dwell:
+        Minimum time between de-escalations (hysteresis dwell), and the
+        minimum time spent below target before the first de-escalation.
+    """
+
+    classes: int = 3
+    policy: str = "both"
+    bucket_depth: float = 8.0
+    headroom: float = 1.0
+    reserve: float = 0.5
+    target_delay: float = 1.0
+    interval: float = 10.0
+    sojourn_tc: float = 25.0
+    shed_all_factor: float = 8.0
+    min_dwell: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.classes < 1:
+            raise ParameterError(f"classes must be >= 1, got {self.classes}")
+        if self.policy not in ADMISSION_POLICIES:
+            raise ParameterError(
+                f"policy must be one of {ADMISSION_POLICIES}, got {self.policy!r}"
+            )
+        for name in (
+            "bucket_depth",
+            "headroom",
+            "target_delay",
+            "interval",
+            "sojourn_tc",
+            "min_dwell",
+        ):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value <= 0.0:
+                raise ParameterError(f"{name} must be finite and > 0, got {value}")
+        if not 0.0 <= self.reserve <= 1.0:
+            raise ParameterError(f"reserve must be in [0, 1], got {self.reserve}")
+        if self.shed_all_factor < 1.0:
+            raise ParameterError(
+                f"shed_all_factor must be >= 1, got {self.shed_all_factor}"
+            )
+
+
+@dataclass(slots=True)
+class _BucketState:
+    tokens: float
+    refill_rate: float
+    last_refill: float
+
+
+class AdmissionController:
+    """Deterministic per-dispatcher admission controller.
+
+    The runtime calls four methods:
+
+    * :meth:`reseed` on every resolve — re-derives the refill rate from
+      the health plane's live capacity estimate (0.0 == cluster down,
+      which forces ``shed-all`` without raising);
+    * :meth:`decide` on every offered arrival — the admit/reject verdict
+      plus a reason tag for the metrics layer;
+    * :meth:`observe_sojourn` on every completion — feeds the AQM;
+    * :meth:`drain_transitions` after either — brownout state changes
+      to convert into incident records.
+
+    All state round-trips through :meth:`state_dict` /
+    :meth:`load_state` so checkpoints restore the controller exactly.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        n = config.classes
+        self._use_bucket = config.policy in ("token-bucket", "both")
+        self._use_codel = config.policy in ("codel", "both")
+        step = config.reserve * config.bucket_depth / max(1, n - 1)
+        self._thresholds = tuple(
+            0.0 if c == 0 else 1.0 + step * c for c in range(n)
+        )
+        self._bucket = _BucketState(
+            tokens=config.bucket_depth, refill_rate=0.0, last_refill=0.0
+        )
+        self._cluster_down = False
+        # CoDel ladder.
+        self._sojourn = 0.0
+        self._sojourn_primed = False
+        self._drop_level = 0
+        self._above_since: float | None = None
+        self._below_since: float | None = None
+        self._last_change = -math.inf
+        self._state = "normal"
+        self._pending: list[tuple[float, str, str]] = []
+        # Deterministic decision ledger (restored with the checkpoint so
+        # telemetry derived from it survives a crash bit-exactly).
+        self.admitted = [0] * n
+        self.rejected = [0] * n
+
+    # -- capacity ----------------------------------------------------------
+
+    def reseed(self, now: float, capacity_rate: float) -> None:
+        """Re-derive the refill rate from the live capacity estimate.
+
+        ``capacity_rate`` is the health plane's admissible-rate figure
+        (``utilization_cap × active capacity``); 0.0 means the cluster
+        is down and forces the ``shed-all`` state instead of raising.
+        """
+        self._refill(now)
+        self._bucket.refill_rate = max(0.0, capacity_rate) * self.config.headroom
+        down = capacity_rate <= 0.0
+        if down != self._cluster_down:
+            self._cluster_down = down
+            self._sync_state(now)
+
+    # -- the verdict -------------------------------------------------------
+
+    def decide(self, now: float, cls: int, attempt: int = 0) -> tuple[bool, str]:
+        """Admit or reject one offered task; returns ``(admit, reason)``.
+
+        ``reason`` is ``"ok"``, ``"aqm"``, ``"bucket"``, or
+        ``"shed-all"`` — stable tags for the decision counters.
+        """
+        del attempt  # recorded by the caller; the verdict is class-based
+        cls = min(max(int(cls), 0), self.config.classes - 1)
+        self._tick(now)
+        if self._state == "shed-all":
+            self.rejected[cls] += 1
+            return False, "shed-all"
+        if (
+            self._use_codel
+            and self._drop_level > 0
+            and cls >= self.config.classes - self._drop_level
+        ):
+            self.rejected[cls] += 1
+            return False, "aqm"
+        if self._use_bucket:
+            self._refill(now)
+            if cls > 0 and self._bucket.tokens < self._thresholds[cls]:
+                self.rejected[cls] += 1
+                return False, "bucket"
+            self._bucket.tokens = max(0.0, self._bucket.tokens - 1.0)
+        self.admitted[cls] += 1
+        return True, "ok"
+
+    def note_forced_shed(self, cls: int) -> None:
+        """Ledger a rejection decided outside the controller.
+
+        Used when the dispatcher has no router to pick from (dark
+        cluster after shed-all from the health plane): the rejection
+        must still land in the deterministic ledger so a journal replay
+        reconverges to the same counts.
+        """
+        cls = min(max(int(cls), 0), self.config.classes - 1)
+        self.rejected[cls] += 1
+
+    # -- the AQM feed ------------------------------------------------------
+
+    def observe_sojourn(self, now: float, response_time: float) -> None:
+        """Fold one completed task's response time into the EWMA."""
+        rt = float(response_time)
+        if not math.isfinite(rt) or rt < 0.0:
+            return
+        if not self._sojourn_primed:
+            self._sojourn = rt
+            self._sojourn_primed = True
+        else:
+            alpha = 1.0 - math.exp(-1.0 / self.config.sojourn_tc)
+            self._sojourn += alpha * (rt - self._sojourn)
+        self._tick(now)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current brownout state: one of :data:`BROWNOUT_STATES`."""
+        return self._state
+
+    @property
+    def drop_level(self) -> int:
+        """Number of classes currently shed by the AQM ladder."""
+        return self._drop_level
+
+    @property
+    def sojourn_estimate(self) -> float:
+        return self._sojourn
+
+    @property
+    def tokens(self) -> float:
+        return self._bucket.tokens
+
+    def drain_transitions(self) -> list[tuple[float, str, str]]:
+        """Brownout transitions since the last drain: ``(t, from, to)``."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    # -- CoDel ladder ------------------------------------------------------
+
+    def _max_level(self) -> int:
+        cfg = self.config
+        if self._sojourn > cfg.shed_all_factor * cfg.target_delay:
+            return cfg.classes  # shed-all reachable under extreme sojourn
+        return cfg.classes - 1  # class 0 keeps flowing
+
+    def _tick(self, now: float) -> None:
+        if not self._use_codel:
+            return
+        cfg = self.config
+        if self._sojourn_primed and self._sojourn > cfg.target_delay:
+            self._below_since = None
+            if self._above_since is None:
+                self._above_since = now
+            window = cfg.interval / math.sqrt(self._drop_level + 1)
+            if (
+                now - self._above_since >= window
+                and self._drop_level < self._max_level()
+                and now - self._last_change >= cfg.min_dwell
+            ):
+                self._drop_level += 1
+                self._above_since = now
+                self._last_change = now
+                self._sync_state(now)
+        else:
+            self._above_since = None
+            if self._below_since is None:
+                self._below_since = now
+            if (
+                self._drop_level > 0
+                and now - self._below_since >= cfg.min_dwell
+                and now - self._last_change >= cfg.min_dwell
+            ):
+                self._drop_level -= 1
+                self._below_since = now
+                self._last_change = now
+                self._sync_state(now)
+
+    def _sync_state(self, now: float) -> None:
+        if self._cluster_down or self._drop_level >= self.config.classes:
+            state = "shed-all"
+        elif self._drop_level > 0:
+            state = "brownout"
+        else:
+            state = "normal"
+        if state != self._state:
+            self._pending.append((now, self._state, state))
+            self._state = state
+
+    def _refill(self, now: float) -> None:
+        if not self._use_bucket:
+            return
+        bucket = self._bucket
+        dt = now - bucket.last_refill
+        if dt > 0.0:
+            bucket.tokens = min(
+                self.config.bucket_depth, bucket.tokens + dt * bucket.refill_rate
+            )
+        bucket.last_refill = max(bucket.last_refill, now)
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "tokens": self._bucket.tokens,
+            "refill_rate": self._bucket.refill_rate,
+            "last_refill": self._bucket.last_refill,
+            "cluster_down": self._cluster_down,
+            "sojourn": self._sojourn,
+            "sojourn_primed": self._sojourn_primed,
+            "drop_level": self._drop_level,
+            "above_since": self._above_since,
+            "below_since": self._below_since,
+            "last_change": self._last_change,
+            "state": self._state,
+            "pending": [list(t) for t in self._pending],
+            "admitted": list(self.admitted),
+            "rejected": list(self.rejected),
+        }
+
+    def load_state(self, state: dict[str, Any]) -> None:
+        self._bucket.tokens = float(state["tokens"])
+        self._bucket.refill_rate = float(state["refill_rate"])
+        self._bucket.last_refill = float(state["last_refill"])
+        self._cluster_down = bool(state["cluster_down"])
+        self._sojourn = float(state["sojourn"])
+        self._sojourn_primed = bool(state["sojourn_primed"])
+        self._drop_level = int(state["drop_level"])
+        above = state["above_since"]
+        below = state["below_since"]
+        self._above_since = None if above is None else float(above)
+        self._below_since = None if below is None else float(below)
+        self._last_change = float(state["last_change"])
+        self._state = str(state["state"])
+        self._pending = [
+            (float(t), str(a), str(b)) for t, a, b in state.get("pending", [])
+        ]
+        self.admitted = [int(v) for v in state["admitted"]]
+        self.rejected = [int(v) for v in state["rejected"]]

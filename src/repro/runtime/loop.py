@@ -33,11 +33,12 @@ from ..core.result import LoadDistributionResult
 from ..core.server import BladeServerGroup
 from ..obs import ConfigBase, ObsConfig, ProfileReport, configure, get_obs
 from ..recovery.checkpoint import RecoveryConfig, RecoveryManager
-from ..sim.arrivals import TracedPoissonArrivals
+from ..sim.arrivals import ClientWorkload, Offer, TracedPoissonArrivals
 from ..sim.engine import GroupSimulation, SimulationConfig, SimulationResult
 from ..sim.rng import StreamFactory
 from ..sim.task import SimTask, TaskClass
 from ..workloads.traces import RateTrace
+from .admission import AdmissionConfig, AdmissionController
 from .controller import ResolveController
 from .estimator import DriftDetector, EwmaRateEstimator, SlidingWindowRateEstimator
 from .health import HealthTracker
@@ -95,6 +96,15 @@ class RuntimeConfig(ConfigBase):
         resolved against the router registry plus its knobs (e.g. the
         power-of-``d`` sample count).  ``None`` falls back to
         ``RoutingConfig(policy=self.router)``.
+    admission:
+        Optional priority admission control (see
+        :class:`repro.runtime.admission.AdmissionConfig`): a token
+        bucket seeded from the live capacity estimate plus a
+        CoDel-style sojourn AQM, shedding lowest-priority-first, with a
+        brownout state machine that degrades gracefully under sustained
+        overload.  ``None`` (default) disables the layer entirely —
+        the legacy probabilistic shed coin stays in charge and journals
+        remain byte-compatible with prior releases.
     seed:
         Seed of the runtime's own randomness (alias sampling, shed
         coin) — independent of the simulator's streams.
@@ -157,6 +167,7 @@ class RuntimeConfig(ConfigBase):
     utilization_cap: float = 0.92
     router: str = "swrr"
     routing: RoutingConfig | None = None
+    admission: AdmissionConfig | None = None
     seed: int = 0
     solver_tol: float | None = None
     supervise: bool = True
@@ -320,6 +331,12 @@ class LoadDistributionRuntime:
         # policy (O(1) either way) so swapping to a state-aware one is
         # purely a config change.
         self._inflight: list[int] = [0] * group.n
+        # Priority admission control (default off).  Fully deterministic
+        # — it consumes no RNG — so journal replay of (class, attempt)
+        # stamped route records reconstructs identical decisions.
+        self._admission: AdmissionController | None = None
+        if config.admission is not None:
+            self._admission = AdmissionController(config.admission)
         if not _restore:
             # A restore skips the initial resolve — the checkpoint codec
             # loads the persisted state instead — and attaches its own
@@ -417,6 +434,19 @@ class LoadDistributionRuntime:
         elif solver_ran:
             self.metrics.counters.resolves += 1
             self.metrics.resolve_latency.add(latency)
+        if self._admission is not None:
+            # Re-seed the token bucket from the KKT capacity estimate of
+            # the *surviving* subgroup, capped like the shed planner —
+            # a dead cluster seeds 0.0, which is the graceful shed-all
+            # path (no ClusterDownError reaches the dispatcher).
+            if self.health.all_down:
+                self._admission.reseed(now, 0.0)
+            else:
+                capacity = self.health.active_group().max_generic_rate
+                self._admission.reseed(
+                    now, self.config.utilization_cap * capacity
+                )
+            self._drain_brownout(now)
         # Re-anchor drift detection at the rate we just planned for,
         # whether or not the split itself changed: the decision was
         # made, so small residual deviation is no longer "drift".
@@ -503,7 +533,55 @@ class LoadDistributionRuntime:
         ).labels(outcome="shed" if dest < 0 else "routed").inc()
         return dest
 
-    def _route(self) -> int:
+    def route_offer(self, offer: Offer) -> int:
+        """Offer-aware dispatcher protocol: admission, then routing.
+
+        The engine prefers this entry point when the run has a
+        :class:`~repro.sim.arrivals.ClientWorkload`; the offer carries
+        the priority class and retry attempt the admission controller
+        (and the journal) decide on.
+        """
+        o = self._obs
+        if not o.enabled:
+            return self._route(offer)
+        with o.tracer.span("route") as sp:
+            dest = self._route(offer)
+            sp.note(dest=dest, cls=offer.cls, attempt=offer.attempt)
+        o.registry.counter(
+            "repro_routes_total",
+            "Routing decisions by outcome",
+            labels=("outcome",),
+        ).labels(outcome="shed" if dest < 0 else "routed").inc()
+        return dest
+
+    def _route(self, offer: Offer | None = None) -> int:
+        if self._admission is not None:
+            cls = 0 if offer is None else offer.cls
+            attempt = 0 if offer is None else offer.attempt
+            if self._router is None or self._shed_fraction >= 1.0:
+                # Dark cluster: no router exists to pick from.  The
+                # controller ledgers the rejection so replay matches.
+                admitted, reason = False, "shed-all"
+                self._admission.note_forced_shed(cls)
+            else:
+                # Admission replaces the probabilistic shed coin
+                # entirely (no RNG is consumed — decisions must replay
+                # bit-exactly from the journal after a crash).
+                admitted, reason = self._admission.decide(self._now, cls, attempt)
+            if admitted:
+                dest = self._router.pick(self._inflight)
+                self._inflight[dest] += 1
+                self.metrics.counters.routed += 1
+                self.metrics.routed.record(dest)
+            else:
+                self.metrics.counters.shed += 1
+                dest = -1
+            self._note_admission(self._now, cls, admitted, reason)
+            if self._recovery is not None:
+                self._recovery.record_route(
+                    self._now, dest, cls=cls, attempt=attempt
+                )
+            return dest
         if self._shed_fraction > 0.0 and self._shed_rng.random() < self._shed_fraction:
             self.metrics.counters.shed += 1
             dest = -1
@@ -515,6 +593,35 @@ class LoadDistributionRuntime:
         if self._recovery is not None:
             self._recovery.record_route(self._now, dest)
         return dest
+
+    def _note_admission(
+        self, now: float, cls: int, admitted: bool, reason: str
+    ) -> None:
+        """Record one admission decision in the metrics + obs layers."""
+        decision = "admit" if admitted else reason
+        self.metrics.admission.record(decision, cls)
+        o = self._obs
+        if o.enabled:
+            o.registry.counter(
+                "repro_admission_decisions",
+                "Admission decisions by outcome and priority class",
+                labels=("decision", "cls"),
+            ).labels(decision=decision, cls=str(cls)).inc()
+        self._drain_brownout(now)
+
+    def _drain_brownout(self, now: float) -> None:
+        """Convert pending brownout transitions into incident records."""
+        for t, previous, state in self._admission.drain_transitions():
+            self.metrics.admission.transition(state)
+            self.metrics.incidents.emit(
+                IncidentRecord(
+                    time=t,
+                    kind="brownout-transition",
+                    severity="info" if state == "normal" else "warning",
+                    detail=f"admission brownout state {previous} -> {state}",
+                    data={"from": previous, "to": state},
+                )
+            )
 
     def observe_completion(
         self, task: SimTask, now: float, server_index: int | None = None
@@ -528,14 +635,29 @@ class LoadDistributionRuntime:
         """
         if task.task_class is TaskClass.GENERIC:
             index = task.server_index if server_index is None else server_index
-            if self._recovery is not None and self._state_aware:
-                # Write-ahead only for state-aware policies: their pick
-                # sequence depends on the queue-depth evolution, so a
-                # replay must re-apply completions in journal order.
-                # Static-policy journals stay byte-compatible with PR 5.
-                self._recovery.record_completion(now, index)
+            if self._recovery is not None and (
+                self._state_aware or self._admission is not None
+            ):
+                # Write-ahead only when the pick sequence depends on
+                # completions: state-aware policies track queue depths,
+                # and the admission AQM tracks sojourn times.  A replay
+                # must re-apply completions in journal order.  Static
+                # policies without admission stay byte-compatible w/ PR 5.
+                if self._admission is not None:
+                    self._recovery.record_completion(
+                        now, index, rt=task.response_time
+                    )
+                else:
+                    self._recovery.record_completion(now, index)
             self._apply_completion(index)
+            if self._admission is not None:
+                self._observe_sojourn(now, task.response_time)
             self.metrics.on_response(task.response_time)
+
+    def _observe_sojourn(self, now: float, rt: float) -> None:
+        """Feed one completed sojourn into the admission AQM (live + replay)."""
+        self._admission.observe_sojourn(now, rt)
+        self._drain_brownout(now)
 
     def _apply_completion(self, index: int) -> None:
         """Decrement in-flight state and notify the policy (live + replay)."""
@@ -607,6 +729,7 @@ def run_closed_loop(
     failures: Sequence[tuple[float, int, str]] = (),
     fault_plan=None,
     collect_tasks: bool = True,
+    workload: ClientWorkload | None = None,
 ) -> ClosedLoopResult:
     """Drive the online runtime with simulated traffic, closed loop.
 
@@ -633,6 +756,13 @@ def run_closed_loop(
     collect_tasks:
         Retain completed tasks for phase-segmented convergence analysis
         (see :func:`repro.analysis.convergence.phase_reports`).
+    workload:
+        Optional :class:`~repro.sim.arrivals.ClientWorkload` describing
+        priority-class shares and the client retry policy.  With a
+        workload the engine stamps every arrival with an admission
+        offer, re-offers timed-out or rejected tasks after backoff, and
+        the runtime's admission controller (``config.admission``) gets
+        real classes to prioritize.
     """
     runtime = LoadDistributionRuntime(
         group, trace.initial_rate, config, fault_plan=fault_plan
@@ -658,6 +788,17 @@ def run_closed_loop(
             controls.append(
                 (spec.start, _crash_action(handle, group, config, trace, fault_plan))
             )
+        for spec in fault_plan.overload_specs:
+            if spec.kind == "retry-storm":
+                # Clients panic: backoff delays collapse by the given
+                # scale for the fault window, then restore.
+                scale = float(spec.params.get("backoff_scale", 0.1))
+                controls.append((spec.start, _backoff_action(scale)))
+                controls.append((spec.end, _backoff_action(1.0)))
+            # "burst-overload" is a no-op here: the arrival-rate burst
+            # must be encoded in ``trace`` (see RateTrace.burst) —
+            # run_overload_chaos compiles the spec into the trace before
+            # calling this function.
     sim_config = SimulationConfig(
         total_generic_rate=trace.initial_rate,
         fractions=tuple(runtime.current_weights),
@@ -675,6 +816,7 @@ def run_closed_loop(
         completion_listener=runtime.observe_completion,
         controls=controls,
         collect_tasks=collect_tasks,
+        workload=workload,
     )
     with runtime._obs.profile() as prof:
         result = sim.run()
@@ -701,6 +843,15 @@ def _down_action(handle: RuntimeHandle, index: int):
 def _up_action(handle: RuntimeHandle, index: int):
     def action(sim, now: float) -> None:
         handle.server_up(index, now)
+
+    return action
+
+
+def _backoff_action(scale: float):
+    """Control action scaling client retry-backoff delays (retry-storm)."""
+
+    def action(sim, now: float) -> None:
+        sim.set_backoff_scale(scale)
 
     return action
 

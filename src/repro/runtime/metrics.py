@@ -33,6 +33,7 @@ __all__ = [
     "IncidentLog",
     "FallbackDepthCounters",
     "ShedTracker",
+    "AdmissionTracker",
     "RuntimeMetrics",
     "FleetCounters",
     "FleetMetrics",
@@ -426,6 +427,73 @@ class ShedTracker:
             self._peak.set(fraction)
 
 
+class AdmissionTracker:
+    """Per-decision admission counters plus brownout-transition totals.
+
+    Fed by the runtime on every admission verdict
+    (``record(decision, cls)`` with decision in ``{"admit", "aqm",
+    "bucket", "shed-all"}``) and on every brownout state change
+    (``transition(state)``).  Registry-backed so the totals ride the
+    :class:`RuntimeMetrics` snapshot like the incident counts do.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        reg = registry if registry is not None else MetricsRegistry()
+        self._decisions = reg.counter(
+            "runtime_admission_total",
+            "Admission decisions per outcome and priority class",
+            labels=("decision", "cls"),
+        )
+        self._transitions = reg.counter(
+            "runtime_brownout_transitions_total",
+            "Brownout state-machine entries, per target state",
+            labels=("state",),
+        )
+        #: The most recently entered brownout state.
+        self.state: str = "normal"
+
+    def record(self, decision: str, cls: int) -> None:
+        """Count one admission verdict for priority class ``cls``."""
+        self._decisions.labels(decision=decision, cls=str(int(cls))).inc()
+
+    def transition(self, state: str) -> None:
+        """Count one brownout state entry and update the live state."""
+        self._transitions.labels(state=state).inc()
+        self.state = state
+
+    @property
+    def decisions(self) -> dict[tuple[str, int], int]:
+        """Totals keyed by ``(decision, class)``."""
+        return {
+            (k[0], int(k[1])): int(v)
+            for k, v in self._decisions.values_by_label().items()
+        }
+
+    @property
+    def transitions(self) -> dict[str, int]:
+        """Brownout entries per target state."""
+        return {
+            k[0]: int(v) for k, v in self._transitions.values_by_label().items()
+        }
+
+    def admitted_by_class(self, cls: int) -> int:
+        """Tasks admitted in priority class ``cls``."""
+        return self.decisions.get(("admit", int(cls)), 0)
+
+    def shed_by_class(self, cls: int) -> int:
+        """Tasks rejected (any reason) in priority class ``cls``."""
+        return sum(
+            v for (d, c), v in self.decisions.items() if c == int(cls) and d != "admit"
+        )
+
+    def shed_fraction(self, cls: int) -> float:
+        """Rejected fraction of everything offered in class ``cls``."""
+        admitted = self.admitted_by_class(cls)
+        shed = self.shed_by_class(cls)
+        offered = admitted + shed
+        return shed / offered if offered else 0.0
+
+
 @dataclass
 class RuntimeMetrics:
     """The full metric set of one :class:`~repro.runtime.loop.LoadDistributionRuntime`.
@@ -448,6 +516,9 @@ class RuntimeMetrics:
         Per-source / per-depth decision counters of the fallback chain.
     shed:
         Live shed-fraction gauge and shed-episode counter.
+    admission:
+        Per-decision admission counters and brownout-transition totals
+        (all zero when ``RuntimeConfig.admission`` is off).
     registry:
         The per-instance metrics registry the incident/fallback/shed
         accumulators record into.  Per instance, not the process-global
@@ -467,6 +538,7 @@ class RuntimeMetrics:
     incidents: IncidentLog = field(default_factory=IncidentLog)
     fallback_depth: FallbackDepthCounters = field(default_factory=FallbackDepthCounters)
     shed: ShedTracker = field(default_factory=ShedTracker)
+    admission: AdmissionTracker = field(default_factory=AdmissionTracker)
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
     circuit_state: str = "closed"
 
@@ -480,6 +552,7 @@ class RuntimeMetrics:
             incidents=IncidentLog(registry=registry),
             fallback_depth=FallbackDepthCounters(registry=registry),
             shed=ShedTracker(registry=registry),
+            admission=AdmissionTracker(registry=registry),
             registry=registry,
         )
 
@@ -501,6 +574,7 @@ class RuntimeMetrics:
             "incidents": [r.to_dict() for r in self.incidents.records],
             "shed_since": self.shed.since,
             "circuit_state": self.circuit_state,
+            "brownout_state": self.admission.state,
             "registry": self.registry.collect(),
         }
 
@@ -522,6 +596,7 @@ class RuntimeMetrics:
         self.incidents.load_records(state["incidents"])
         self.shed.since = float(state["shed_since"])
         self.circuit_state = str(state["circuit_state"])
+        self.admission.state = str(state.get("brownout_state", "normal"))
 
     @property
     def shed_fraction_observed(self) -> float:

@@ -54,7 +54,7 @@ from typing import Callable, Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from ..core.exceptions import ParameterError
-from ..obs import ConfigBase
+from ..obs import ConfigBase, get_obs
 from .router import (
     AliasTableRouter,
     SmoothWeightedRoundRobinRouter,
@@ -349,6 +349,9 @@ class JoinIdleQueueRouter:
         self._counts = [0] * n
         self._on_stack = bytearray(n)
         self._stack: list[int] = []
+        #: Picks answered by the alias prior because the idle stack was
+        #: empty (every server busy) — the saturation-fallback count.
+        self.fallbacks = 0
         for i in range(n):
             if self._weights[i] > 0.0:
                 self._stack.append(i)
@@ -385,6 +388,16 @@ class JoinIdleQueueRouter:
             if self._counts[i] == 0 and self._weights[i] > 0.0:
                 self._counts[i] = 1
                 return i
+        # Saturation: every server is busy, so the pick degrades to the
+        # static optimal split.  Counted — a high fallback rate means
+        # the idle-queue signal has stopped carrying information.
+        self.fallbacks += 1
+        o = get_obs()
+        if o.enabled:
+            o.registry.counter(
+                "repro_jiq_fallbacks_total",
+                "JIQ picks answered by the alias prior (idle stack empty)",
+            ).inc()
         i = self._prior.sample()
         self._counts[i] += 1
         return i
@@ -406,12 +419,14 @@ class JoinIdleQueueRouter:
             "counts": list(self._counts),
             "stack": list(self._stack),
             "prior": self._prior.state_dict(),
+            "fallbacks": int(self.fallbacks),
         }
 
     def load_state(self, state: dict) -> None:
         self._weights = _normalize(state["weights"], None)
         self._prior.rebuild(self._weights)
         self._prior.load_state(state["prior"])
+        self.fallbacks = int(state.get("fallbacks", 0))
         self._counts = [int(c) for c in state["counts"]]
         if len(self._counts) != self._weights.size:
             raise ParameterError("in-flight counts do not match weights")

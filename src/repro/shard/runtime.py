@@ -48,7 +48,7 @@ from ..core.response import Discipline
 from ..core.server import BladeServerGroup
 from ..obs import get_obs
 from ..runtime.estimator import RateEstimator
-from ..runtime.loop import LoadDistributionRuntime, RuntimeConfig
+from ..runtime.loop import LoadDistributionRuntime, RuntimeConfig, _backoff_action
 from ..sim.arrivals import TracedPoissonArrivals
 from ..sim.engine import GroupSimulation, SimulationConfig, SimulationResult
 from ..sim.task import SimTask
@@ -210,6 +210,9 @@ class ShardedDispatcher:
         self.dropped_completions = 0
         #: Arrivals the split drew for a non-live shard, shed at route.
         self.failover_shed = 0
+        #: Arrivals re-admitted to a live shard after drawing a dead one
+        #: (admission-enabled fleets only; see :meth:`route_offer`).
+        self.readmitted = 0
         # Health signals aimed at a non-live shard queue here, as
         # (kind, local_index, time) in arrival order, re-delivered at
         # splice-back — the restored runtime must not miss a server
@@ -413,6 +416,46 @@ class ShardedDispatcher:
             return -1
         return int(self._members[shard][local])
 
+    def route_offer(self, offer) -> int:
+        """Offer-aware delegate: the admission class/attempt travel
+        through to the owning shard's controller.
+
+        Unlike :meth:`route`, a draw that lands on a dead shard is
+        *re-admitted*: when the fleet runs admission control the offer
+        is re-drawn once among the live shards (shares renormalized),
+        so a failed-over shard degrades into extra load on the
+        survivors — where the admission layer decides — instead of a
+        blanket shed.  Without admission the legacy shed-at-failover
+        behaviour stays pinned.
+        """
+        shard = self._pending
+        if not self._live[shard]:
+            shard = self._readmit_shard()
+            if shard < 0:
+                self.failover_shed += 1
+                return -1
+        runtime = self.runtimes[shard]
+        forward = getattr(runtime, "route_offer", None)
+        local = runtime.route() if forward is None else forward(offer)
+        if local < 0:
+            return -1
+        return int(self._members[shard][local])
+
+    def _readmit_shard(self) -> int:
+        """One renormalized re-draw among live shards (admission only)."""
+        if self.runtimes[self._pending]._admission is None or not self._live.any():
+            return -1
+        weights = np.where(self._live, self._shares, 0.0)
+        total = float(weights.sum())
+        if total <= 0.0:
+            weights = self._live.astype(float)
+            total = float(weights.sum())
+        cum = np.cumsum(weights / total)
+        cum[-1] = 1.0
+        shard = int(np.searchsorted(cum, self._rng.random(), side="right"))
+        self.readmitted += 1
+        return shard
+
     def observe_completion(self, task: SimTask, now: float) -> None:
         """Forward the completion to the runtime owning the server.
 
@@ -488,6 +531,7 @@ def run_sharded_closed_loop(
     collect_tasks: bool = True,
     fault_plan=None,
     supervisor_config=None,
+    workload=None,
 ) -> ShardedRuntimeReport:
     """Drive ``n_shards`` concurrent shard dispatchers, closed loop.
 
@@ -516,6 +560,13 @@ def run_sharded_closed_loop(
     delivered to the owning shard through the dispatcher.  Plain
     ``crash`` specs are rejected: at fleet scale the control plane has
     no single process to kill — use ``shard-crash``.
+
+    Passing a :class:`~repro.sim.arrivals.ClientWorkload` stamps every
+    arrival with a priority class and routes it through
+    :meth:`ShardedDispatcher.route_offer`, so per-shard admission
+    controllers (``config.admission``) see the fleet's offered load
+    split by shard shares, and offers bound for a dead shard are
+    re-admitted to the live survivors instead of blanket-shed.
 
     Returns a :class:`ShardedRuntimeReport`; the per-shard runtimes
     (metrics, resolve logs, recovery state) ride along on the
@@ -678,6 +729,16 @@ def run_sharded_closed_loop(
                             ),
                         )
                     )
+        # Same compilation the flat loop applies: a retry-storm window
+        # slashes client backoff for its duration; burst-overload specs
+        # are encoded in the trace by the overload chaos harness.
+        for spec in fault_plan.overload_specs:
+            if spec.kind != "retry-storm":
+                continue
+            scale = float(spec.params.get("backoff_scale", 0.1))
+            controls.append((spec.start, _backoff_action(scale)))
+            if spec.end < horizon:
+                controls.append((spec.end, _backoff_action(1.0)))
 
     sim_config = SimulationConfig(
         total_generic_rate=trace.initial_rate,
@@ -696,6 +757,7 @@ def run_sharded_closed_loop(
         completion_listener=dispatcher.observe_completion,
         controls=controls,
         collect_tasks=collect_tasks,
+        workload=workload,
     )
     if fault_plan is not None:
         # The flat loop binds the plan's clock inside the runtime

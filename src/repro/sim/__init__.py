@@ -27,9 +27,12 @@ from .engine import (
 )
 from .arrivals import (
     ArrivalProcess,
+    ClientWorkload,
     HyperexponentialArrivals,
     MMPPArrivals,
+    Offer,
     PoissonArrivals,
+    RetryPolicy,
     TracedPoissonArrivals,
 )
 from .events import Event, EventQueue, EventType
@@ -49,10 +52,13 @@ from .task import SimTask, TaskClass
 __all__ = [
     "ArrivalProcess",
     "BatchMeans",
+    "ClientWorkload",
     "ConfidenceInterval",
     "HyperexponentialArrivals",
     "MMPPArrivals",
+    "Offer",
     "PoissonArrivals",
+    "RetryPolicy",
     "TracedPoissonArrivals",
     "DeterministicRequirement",
     "Dispatcher",

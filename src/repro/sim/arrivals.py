@@ -29,12 +29,24 @@ study in :mod:`repro.sim.requirements`):
     driver of the online runtime's closed-loop tests.  Unlike the
     other processes it is *deliberately* non-stationary; its
     :attr:`rate` reports the initial segment's rate.
+
+Beyond the arrival processes, this module also models the *clients*
+behind the stream.  A :class:`ClientWorkload` stamps every fresh
+arrival with a priority class (an :class:`Offer`) and a
+:class:`RetryPolicy` governs what rejected, shed, or timed-out offers
+do next: re-offer after jittered exponential backoff, up to a per-class
+retry budget.  Timed-out offers are the dangerous ones — the duplicate
+re-enters the system while the original still consumes service, which
+is the work amplification that makes overload *metastable* (the storm
+outlives the burst that started it).  The overload chaos suite
+reproduces both the storm and its cure from these knobs.
 """
 
 from __future__ import annotations
 
 import abc
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -46,7 +58,134 @@ __all__ = [
     "MMPPArrivals",
     "HyperexponentialArrivals",
     "TracedPoissonArrivals",
+    "Offer",
+    "RetryPolicy",
+    "ClientWorkload",
 ]
+
+
+@dataclass(frozen=True, slots=True)
+class Offer:
+    """One client offer of work: a priority class and a retry attempt.
+
+    ``attempt`` 0 is the fresh arrival; each re-offer increments it.
+    The admission controller and the journal both speak in offers, so a
+    crash replay reconstructs the exact same decisions.
+    """
+
+    cls: int = 0
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client retry behavior for rejected, shed, or timed-out offers.
+
+    Parameters
+    ----------
+    budget:
+        Default per-class retry budget (maximum re-offers per original
+        task); 0 disables retries.
+    budgets:
+        Optional per-class override tuple; empty broadcasts ``budget``.
+    timeout:
+        Client patience: an *admitted* task whose sojourn exceeds this
+        is re-offered (duplicated!) while the original keeps consuming
+        service.  ``inf`` (default) disables timeout retries — only
+        rejected/shed offers then retry, which is self-limiting.
+    base_backoff:
+        First retry's mean backoff delay.
+    backoff_factor:
+        Exponential growth factor per attempt.
+    max_backoff:
+        Backoff ceiling.
+    jitter:
+        Uniform jitter fraction in [0, 1): the delay is scaled by
+        ``1 + jitter·(2u − 1)`` for a uniform draw ``u``.
+    """
+
+    budget: int = 3
+    budgets: tuple[int, ...] = ()
+    timeout: float = math.inf
+    base_backoff: float = 1.0
+    backoff_factor: float = 2.0
+    max_backoff: float = 60.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ParameterError(f"budget must be >= 0, got {self.budget}")
+        if any(b < 0 for b in self.budgets):
+            raise ParameterError(f"budgets must be >= 0, got {self.budgets}")
+        if not self.timeout > 0.0 or math.isnan(self.timeout):
+            raise ParameterError(f"timeout must be > 0, got {self.timeout}")
+        for name in ("base_backoff", "max_backoff"):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value > 0.0):
+                raise ParameterError(f"{name} must be finite and > 0, got {value}")
+        if not (math.isfinite(self.backoff_factor) and self.backoff_factor >= 1.0):
+            raise ParameterError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ParameterError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def budget_for(self, cls: int) -> int:
+        """Retry budget of priority class ``cls``."""
+        if self.budgets and 0 <= cls < len(self.budgets):
+            return self.budgets[cls]
+        return self.budget
+
+    def backoff_delay(self, attempt: int, u: float) -> float:
+        """Jittered exponential backoff before re-offer ``attempt``.
+
+        ``u`` is a uniform(0, 1) draw from the engine's dedicated
+        ``"retries"`` stream, keeping the storm reproducible.
+        """
+        base = min(
+            self.max_backoff,
+            self.base_backoff * self.backoff_factor ** max(0, attempt - 1),
+        )
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+
+@dataclass(frozen=True)
+class ClientWorkload:
+    """Priority-class mix plus retry behavior of the client population.
+
+    ``class_shares`` are the (normalized) probabilities of each priority
+    class for fresh arrivals — class 0 is the highest priority.  The
+    engine stamps every fresh arrival via :meth:`draw_class` from its
+    dedicated ``"classes"`` stream.
+    """
+
+    class_shares: tuple[float, ...] = (1.0,)
+    retry: RetryPolicy = RetryPolicy()
+
+    def __post_init__(self) -> None:
+        shares = tuple(float(s) for s in self.class_shares)
+        if not shares:
+            raise ParameterError("class_shares must not be empty")
+        if any(not math.isfinite(s) or s < 0.0 for s in shares) or sum(shares) <= 0.0:
+            raise ParameterError(
+                f"class_shares must be non-negative with a positive sum, "
+                f"got {self.class_shares!r}"
+            )
+        object.__setattr__(self, "class_shares", shares)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_shares)
+
+    def draw_class(self, u: float) -> int:
+        """Map a uniform(0, 1) draw to a priority class."""
+        total = sum(self.class_shares)
+        acc = 0.0
+        for cls, share in enumerate(self.class_shares):
+            acc += share / total
+            if u < acc:
+                return cls
+        return len(self.class_shares) - 1
 
 
 class ArrivalProcess(abc.ABC):

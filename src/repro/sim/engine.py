@@ -24,7 +24,7 @@ from ..core.exceptions import ParameterError, SimulationError
 from ..core.response import Discipline
 from ..core.server import BladeServerGroup
 from ..obs import get_obs
-from .arrivals import ArrivalProcess, PoissonArrivals
+from .arrivals import ArrivalProcess, ClientWorkload, Offer, PoissonArrivals
 from .dispatcher import Dispatcher, ProbabilisticDispatcher
 from .events import EventQueue, EventType
 from .requirements import ExponentialRequirement, RequirementDistribution
@@ -111,6 +111,19 @@ class SimulationResult:
     #: dispatchers; the online runtime sheds load this way when the
     #: surviving capacity cannot absorb demand.
     generic_shed: int = 0
+    #: Re-offered generic tasks (retrying clients), whole run.  Only
+    #: populated when the run has a :class:`ClientWorkload`.
+    generic_retried: int = 0
+    #: Client-timeout firings on still-queued tasks, whole run.
+    generic_timeouts: int = 0
+    #: Offers dropped after exhausting their retry budget, whole run.
+    generic_abandoned: int = 0
+    #: Per-priority-class offered counts (fresh + retries), whole run.
+    offered_by_class: tuple[int, ...] = ()
+    #: Per-priority-class rejected/shed offer counts, whole run.
+    shed_by_class: tuple[int, ...] = ()
+    #: Per-priority-class completed-task counts, post-warmup.
+    completed_by_class: tuple[int, ...] = ()
 
 
 class GroupSimulation:
@@ -164,6 +177,16 @@ class GroupSimulation:
         is called as ``action(sim, now)`` when the simulation clock
         reaches ``time``.  Used to inject server failures, recoveries,
         and other operator events into a run.
+    workload:
+        Optional :class:`~repro.sim.arrivals.ClientWorkload`.  When
+        set, every fresh generic arrival is stamped with a priority
+        class (an :class:`~repro.sim.arrivals.Offer`), rejected/shed
+        offers re-enter after jittered exponential backoff up to their
+        per-class retry budget, and admitted tasks that outlive
+        ``retry.timeout`` are re-offered while the original keeps
+        consuming service.  Offer-aware dispatchers (those exposing
+        ``route_offer``) receive the offer; others fall back to the
+        classic ``route(servers)`` call.
     """
 
     def __init__(
@@ -178,6 +201,7 @@ class GroupSimulation:
         arrival_listener=None,
         completion_listener=None,
         controls=(),
+        workload: "ClientWorkload | None" = None,
     ) -> None:
         if len(config.fractions) != group.n:
             raise ParameterError(
@@ -214,6 +238,13 @@ class GroupSimulation:
                 f"total_generic_rate {config.total_generic_rate}"
             )
         self._arrivals = arrivals
+        self._workload = workload
+        self._backoff_scale = 1.0
+        if workload is not None:
+            # Dedicated streams keep class stamping and backoff jitter
+            # reproducible and independent of every other draw.
+            self._class_rng = self._streams.stream("classes")
+            self._retry_rng = self._streams.stream("retries")
         self._arrival_listener = arrival_listener
         self._completion_listener = completion_listener
         self._controls: list = []
@@ -277,6 +308,17 @@ class GroupSimulation:
             self._arrival_listener = arrival_listener
         if completion_listener is not None:
             self._completion_listener = completion_listener
+
+    def set_backoff_scale(self, scale: float) -> None:
+        """Scale client retry backoffs live (the ``retry-storm`` fault).
+
+        A scale well below 1 collapses the backoff spacing so the whole
+        retry wave lands at once — the aggressive-client half of a
+        metastable overload.  1.0 restores the configured policy.
+        """
+        if not (math.isfinite(scale) and scale > 0.0):
+            raise ParameterError(f"backoff scale must be > 0, got {scale!r}")
+        self._backoff_scale = float(scale)
 
     def capture_rng_state(self) -> dict:
         """JSON-safe snapshot of every engine random stream.
@@ -346,6 +388,19 @@ class GroupSimulation:
         gen_done_per_server = np.zeros(n, dtype=np.int64)
         task_log: list[SimTask] = []
 
+        # Client-workload accounting (whole run, not just the
+        # measurement window: the acceptance criterion for priority-0
+        # goodput covers every offer the clients ever made).
+        wl = self._workload
+        n_classes = wl.n_classes if wl is not None else 0
+        gen_retried = 0
+        gen_timeouts = 0
+        gen_abandoned = 0
+        offered_by_class = [0] * n_classes
+        shed_by_class = [0] * n_classes
+        done_by_class = [0] * n_classes
+        retry_depths: dict[int, int] = {}
+
         for i in range(n):
             busy_tw[i].reset(0.0, 0.0)
             system_tw[i].reset(0.0, 0.0)
@@ -377,6 +432,25 @@ class GroupSimulation:
         def start_service(task: SimTask, now: float) -> None:
             service = task.service_time(self.group.speeds[task.server_index])
             events.schedule(now + service, EventType.DEPARTURE, payload=task)
+
+        def maybe_retry(offer: "Offer", now: float) -> bool:
+            """Re-offer after jittered exponential backoff, if budget remains."""
+            nonlocal gen_retried, gen_abandoned
+            if offer.attempt >= wl.retry.budget_for(offer.cls):
+                gen_abandoned += 1
+                return False
+            delay = self._backoff_scale * wl.retry.backoff_delay(
+                offer.attempt + 1, self._retry_rng.random()
+            )
+            events.schedule(
+                now + delay,
+                EventType.GENERIC_ARRIVAL,
+                payload=Offer(offer.cls, offer.attempt + 1),
+            )
+            gen_retried += 1
+            depth = offer.attempt + 1
+            retry_depths[depth] = retry_depths.get(depth, 0) + 1
+            return True
 
         o = get_obs()
         obs_on = o.enabled
@@ -410,25 +484,66 @@ class GroupSimulation:
                     continue
 
                 if ev.kind is EventType.GENERIC_ARRIVAL:
-                    # Schedule the next generic arrival, then route this one.
-                    events.schedule(
-                        now + self._arrivals.next_interarrival(self._arrival_rng),
-                        EventType.GENERIC_ARRIVAL,
-                    )
+                    # A fresh arrival carries no payload and schedules its
+                    # successor; a retry carries its Offer and does not (the
+                    # retry stream rides on top of the fresh stream).
+                    offer = ev.payload
+                    if offer is None:
+                        events.schedule(
+                            now + self._arrivals.next_interarrival(self._arrival_rng),
+                            EventType.GENERIC_ARRIVAL,
+                        )
+                        if wl is not None:
+                            offer = Offer(wl.draw_class(self._class_rng.random()), 0)
+                    # The listener sees retries too: the runtime's rate
+                    # estimator must observe the storm, not just the
+                    # fresh stream — that is what admission reacts to.
                     if self._arrival_listener is not None:
                         self._arrival_listener(now)
-                    dest = self._dispatcher.route(self._servers)
+                    if offer is not None:
+                        offered_by_class[offer.cls] += 1
+                        route_offer = getattr(self._dispatcher, "route_offer", None)
+                        if route_offer is not None:
+                            dest = route_offer(offer)
+                        else:
+                            dest = self._dispatcher.route(self._servers)
+                    else:
+                        dest = self._dispatcher.route(self._servers)
                     if dest < 0:
                         # Dispatcher shed the task (degraded mode): it never
                         # enters any queue and produces no statistics.
                         if measuring:
                             gen_shed += 1
+                        if offer is not None:
+                            shed_by_class[offer.cls] += 1
+                            maybe_retry(offer, now)
                         continue
                     task = self._new_task(TaskClass.GENERIC, dest, now)
+                    if offer is not None:
+                        task.offer_class = offer.cls
+                        task.attempt = offer.attempt
+                        timeout = wl.retry.timeout
+                        if math.isfinite(timeout) and offer.attempt < wl.retry.budget_for(
+                            offer.cls
+                        ):
+                            events.schedule(
+                                now + timeout, EventType.TIMEOUT_CHECK, payload=task
+                            )
                     started = self._servers[dest].on_arrival(task, now)
                     if started is not None:
                         start_service(started, now)
                     record_state(dest, now)
+                    continue
+
+                if ev.kind is EventType.TIMEOUT_CHECK:
+                    task = ev.payload
+                    if math.isnan(task.completion_time):
+                        # The client gave up: a duplicate re-enters after
+                        # backoff while the original keeps consuming service.
+                        # This work amplification is what makes overload
+                        # metastable — the storm outlives the burst.
+                        gen_timeouts += 1
+                        maybe_retry(Offer(task.offer_class, task.attempt), now)
                     continue
 
                 if ev.kind is EventType.SPECIAL_ARRIVAL:
@@ -466,6 +581,8 @@ class GroupSimulation:
                             gen_wait.add(task.waiting_time)
                             gen_done += 1
                             gen_done_per_server[i] += 1
+                            if task.offer_class is not None:
+                                done_by_class[task.offer_class] += 1
                         else:
                             spec_resp.add(task.response_time)
                             spec_wait.add(task.waiting_time)
@@ -492,6 +609,14 @@ class GroupSimulation:
             )
             for kind, count in ev_counts.items():
                 fam.labels(kind=kind).inc(count)
+            if retry_depths:
+                depth_fam = reg.counter(
+                    "repro_retry_depth",
+                    "Re-offered tasks by retry attempt depth",
+                    labels=("depth",),
+                )
+                for depth in sorted(retry_depths):
+                    depth_fam.labels(depth=str(depth)).inc(retry_depths[depth])
             if wall > 0.0:
                 reg.gauge(
                     "repro_sim_events_per_second",
@@ -525,6 +650,12 @@ class GroupSimulation:
             generic_completed_per_server=gen_done_per_server,
             task_log=tuple(task_log),
             generic_shed=gen_shed,
+            generic_retried=gen_retried,
+            generic_timeouts=gen_timeouts,
+            generic_abandoned=gen_abandoned,
+            offered_by_class=tuple(offered_by_class),
+            shed_by_class=tuple(shed_by_class),
+            completed_by_class=tuple(done_by_class),
         )
 
 

@@ -32,6 +32,12 @@ class EventType(enum.Enum):
     #: by the online runtime to inject failures, recoveries, and other
     #: operator actions at fixed simulation times.
     CONTROL = "control"
+    #: Client-timeout probe (payload: the admitted :class:`SimTask`).
+    #: Fires ``retry.timeout`` after admission; if the task has not
+    #: completed by then, the retrying client re-offers a duplicate
+    #: while the original copy keeps consuming service — the work
+    #: amplification behind metastable retry storms.
+    TIMEOUT_CHECK = "timeout_check"
 
 
 @dataclass(frozen=True, order=True)

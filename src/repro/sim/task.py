@@ -48,6 +48,13 @@ class SimTask:
         (``SPECIAL`` = 0 above ``GENERIC`` = 1) via
         :meth:`effective_priority`; set explicitly for K-class
         experiments.  Ignored under FCFS.
+    offer_class:
+        Admission-control priority class of the client offer that
+        produced this task (0 = highest), or ``None`` when the run has
+        no :class:`~repro.sim.arrivals.ClientWorkload`.  Distinct from
+        :attr:`priority`, which selects the queueing discipline level.
+    attempt:
+        Zero-based retry attempt of the offer (0 = fresh arrival).
     """
 
     task_id: int
@@ -58,6 +65,8 @@ class SimTask:
     start_time: float = field(default=float("nan"))
     completion_time: float = field(default=float("nan"))
     priority: int | None = None
+    offer_class: int | None = None
+    attempt: int = 0
 
     @property
     def effective_priority(self) -> int:

@@ -46,15 +46,29 @@ class RateTrace:
             raise ParameterError(
                 f"initial_rate must be finite and > 0, got {self.initial_rate!r}"
             )
-        cleaned = tuple((float(t), float(r)) for t, r in self.steps)
+        try:
+            cleaned = tuple((float(t), float(r)) for t, r in self.steps)
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"steps must be (time, rate) pairs, got {self.steps!r}"
+            ) from exc
         last = 0.0
-        for t, r in cleaned:
-            if not (math.isfinite(t) and t > last):
+        for k, (t, r) in enumerate(cleaned):
+            if not (math.isfinite(t) and t > 0.0):
                 raise ParameterError(
-                    f"step times must be finite and strictly increasing, got {t!r}"
+                    f"step {k}: change time must be finite and > 0, got {t!r}"
+                )
+            if t <= last:
+                raise ParameterError(
+                    f"step {k}: change time {t!r} does not strictly increase "
+                    f"past the previous boundary {last!r} — overlapping or "
+                    f"non-monotone segments would silently reorder the trace"
                 )
             if not (math.isfinite(r) and r > 0.0):
-                raise ParameterError(f"step rates must be finite and > 0, got {r!r}")
+                raise ParameterError(
+                    f"step {k}: rate must be finite and > 0, got {r!r} "
+                    f"(a zero or negative rate has no Poisson stream)"
+                )
             last = t
         object.__setattr__(self, "steps", cleaned)
 
@@ -69,6 +83,25 @@ class RateTrace:
     def step(cls, rate: float, at: float, to: float) -> "RateTrace":
         """A single step change: ``rate`` until ``at``, then ``to``."""
         return cls(rate, ((at, to),))
+
+    @classmethod
+    def burst(
+        cls, rate: float, *, at: float, factor: float, duration: float
+    ) -> "RateTrace":
+        """A transient overload burst: ``rate`` scaled by ``factor``
+        on ``[at, at + duration)``, back to ``rate`` afterwards.
+
+        The overload chaos suite compiles ``burst-overload`` fault
+        specs into exactly this shape (``factor`` ≈ 2 puts the group
+        well past capacity for the burst window).
+        """
+        if not (math.isfinite(factor) and factor > 0.0):
+            raise ParameterError(f"factor must be finite and > 0, got {factor!r}")
+        if not (math.isfinite(duration) and duration > 0.0):
+            raise ParameterError(
+                f"duration must be finite and > 0, got {duration!r}"
+            )
+        return cls(rate, ((at, rate * factor), (at + duration, rate)))
 
     @classmethod
     def ramp(

@@ -1,0 +1,378 @@
+"""Unit suite for the overload-survival layer's admission primitives.
+
+Covers :mod:`repro.runtime.admission` in isolation — config validation,
+token-bucket priority reserves, the CoDel escalation/de-escalation
+ladder, the brownout state machine, and the checkpoint state round
+trip — plus the client-side knobs the overload chaos suite drives:
+:class:`~repro.sim.arrivals.RetryPolicy` backoff math and
+:class:`~repro.sim.arrivals.ClientWorkload` class stamping, and the
+:class:`~repro.workloads.traces.RateTrace` input validation that keeps
+malformed overload traces from silently reordering segments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.exceptions import ParameterError
+from repro.runtime.admission import (
+    ADMISSION_POLICIES,
+    BROWNOUT_STATES,
+    AdmissionConfig,
+    AdmissionController,
+)
+from repro.sim.arrivals import ClientWorkload, Offer, RetryPolicy
+from repro.workloads.traces import RateTrace
+
+# ---------------------------------------------------------------------------
+# AdmissionConfig validation
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionConfig:
+    def test_defaults_are_valid(self):
+        cfg = AdmissionConfig()
+        assert cfg.classes == 3
+        assert cfg.policy in ADMISSION_POLICIES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"classes": 0},
+            {"policy": "random-early-drop"},
+            {"bucket_depth": 0.0},
+            {"headroom": -1.0},
+            {"target_delay": math.nan},
+            {"interval": math.inf},
+            {"sojourn_tc": 0.0},
+            {"min_dwell": -2.0},
+            {"reserve": 1.5},
+            {"shed_all_factor": 0.5},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            AdmissionConfig(**kwargs)
+
+    def test_single_class_config_is_legal(self):
+        # classes=1 means no priority ladder: only shed-all can reject.
+        ctl = AdmissionController(AdmissionConfig(classes=1))
+        ctl.reseed(0.0, 10.0)
+        assert ctl.decide(0.0, 0) == (True, "ok")
+
+
+# ---------------------------------------------------------------------------
+# Token bucket with priority reserves
+# ---------------------------------------------------------------------------
+
+
+def _bucket_controller(**overrides) -> AdmissionController:
+    kwargs = dict(
+        classes=3, policy="token-bucket", bucket_depth=8.0, reserve=0.5
+    )
+    kwargs.update(overrides)
+    return AdmissionController(AdmissionConfig(**kwargs))
+
+
+class TestTokenBucket:
+    def test_thresholds_stack_toward_high_classes(self):
+        ctl = _bucket_controller()
+        # step = reserve * depth / (classes - 1) = 2.0
+        assert ctl._thresholds == (0.0, 3.0, 5.0)
+
+    def test_class0_admits_on_empty_bucket(self):
+        ctl = _bucket_controller()
+        ctl.reseed(0.0, 0.5)
+        for _ in range(20):  # drain far past the depth
+            admit, reason = ctl.decide(0.0, 0)
+            assert admit and reason == "ok"
+        assert ctl.tokens == 0.0
+
+    def test_low_classes_rejected_first_as_bucket_drains(self):
+        ctl = _bucket_controller()
+        ctl.reseed(0.0, 0.5)
+        verdicts = []
+        for _ in range(8):
+            ctl.decide(0.0, 0)  # class 0 drains one token each
+            verdicts.append(
+                (ctl.decide(0.0, 1)[0], ctl.decide(0.0, 2)[0])
+            )
+        # Class 2 (threshold 5) starves before class 1 (threshold 3).
+        first_reject_2 = next(i for i, v in enumerate(verdicts) if not v[1])
+        first_reject_1 = next(i for i, v in enumerate(verdicts) if not v[0])
+        assert first_reject_2 < first_reject_1
+
+    def test_refill_is_capacity_rated_and_capped_at_depth(self):
+        ctl = _bucket_controller()
+        ctl.reseed(0.0, 2.0)  # refill 2 tokens / unit time
+        for _ in range(8):
+            ctl.decide(0.0, 0)
+        assert ctl.tokens == 0.0
+        assert ctl.decide(1.0, 1) == (False, "bucket")  # 2 < 3
+        assert ctl.decide(2.5, 1) == (True, "ok")  # 5 tokens >= 3
+        ctl.reseed(100.0, 2.0)
+        assert ctl.tokens == pytest.approx(8.0)  # capped at depth
+
+    def test_reseed_to_zero_capacity_forces_shed_all(self):
+        ctl = _bucket_controller()
+        ctl.reseed(0.0, 4.0)
+        assert ctl.state == "normal"
+        ctl.reseed(5.0, 0.0)
+        assert ctl.state == "shed-all"
+        assert ctl.decide(5.0, 0) == (False, "shed-all")
+        ctl.reseed(9.0, 4.0)  # capacity restored
+        assert ctl.state == "normal"
+        transitions = ctl.drain_transitions()
+        assert [(a, b) for _, a, b in transitions] == [
+            ("normal", "shed-all"),
+            ("shed-all", "normal"),
+        ]
+
+    def test_ledgers_track_decisions(self):
+        ctl = _bucket_controller()
+        ctl.reseed(0.0, 1.0)
+        for _ in range(8):
+            ctl.decide(0.0, 0)
+        ctl.decide(0.0, 2)
+        assert ctl.admitted[0] == 8
+        assert ctl.rejected[2] == 1
+        ctl.note_forced_shed(1)
+        ctl.note_forced_shed(99)  # clamped into range
+        assert ctl.rejected[1] == 1
+        assert ctl.rejected[2] == 2
+
+
+# ---------------------------------------------------------------------------
+# CoDel ladder + brownout state machine
+# ---------------------------------------------------------------------------
+
+
+def _codel_controller(**overrides) -> AdmissionController:
+    kwargs = dict(
+        classes=3,
+        policy="codel",
+        target_delay=1.0,
+        interval=10.0,
+        sojourn_tc=25.0,
+        min_dwell=5.0,
+        shed_all_factor=8.0,
+    )
+    kwargs.update(overrides)
+    return AdmissionController(AdmissionConfig(**kwargs))
+
+
+class TestCodelLadder:
+    def test_escalation_sheds_lowest_class_first(self):
+        ctl = _codel_controller()
+        ctl.observe_sojourn(0.0, 5.0)  # primes the EWMA above target
+        assert ctl.drop_level == 0
+        ctl.observe_sojourn(10.0, 5.0)  # full interval above target
+        assert ctl.drop_level == 1
+        assert ctl.state == "brownout"
+        assert ctl.decide(10.0, 2) == (False, "aqm")
+        assert ctl.decide(10.0, 1)[0] and ctl.decide(10.0, 0)[0]
+
+    def test_escalation_interval_shrinks_by_codel_law(self):
+        ctl = _codel_controller()
+        ctl.observe_sojourn(0.0, 5.0)
+        ctl.observe_sojourn(10.0, 5.0)  # level 1 at t=10
+        # Next window is interval / sqrt(2) ~= 7.07; dwell 5 already met.
+        ctl.observe_sojourn(16.0, 5.0)
+        assert ctl.drop_level == 1  # 6.0 < 7.07: not yet
+        ctl.observe_sojourn(17.2, 5.0)
+        assert ctl.drop_level == 2
+        assert ctl.decide(17.2, 1) == (False, "aqm")
+        assert ctl.decide(17.2, 0)[0]  # class 0 still flows
+
+    def test_class0_protected_below_shed_all_sojourn(self):
+        ctl = _codel_controller()
+        # Sojourn 5 < shed_all_factor * target = 8: ladder caps at 2.
+        for t in (0.0, 10.0, 17.2, 30.0, 50.0, 80.0):
+            ctl.observe_sojourn(t, 5.0)
+        assert ctl.drop_level == 2
+        assert ctl.state == "brownout"
+
+    def test_extreme_sojourn_reaches_shed_all(self):
+        ctl = _codel_controller()
+        for t in (0.0, 10.0, 17.2, 23.1):
+            ctl.observe_sojourn(t, 100.0)
+        assert ctl.drop_level == 3
+        assert ctl.state == "shed-all"
+        assert ctl.decide(23.1, 0) == (False, "shed-all")
+        states = [b for _, _, b in ctl.drain_transitions()]
+        assert states == ["brownout", "shed-all"]
+        assert set(states) <= set(BROWNOUT_STATES)
+
+    def test_dwell_below_target_deescalates(self):
+        ctl = _codel_controller(sojourn_tc=0.5, min_dwell=2.0)
+        ctl.observe_sojourn(0.0, 5.0)
+        ctl.observe_sojourn(10.0, 5.0)
+        assert ctl.drop_level == 1
+        # Fast EWMA: a few calm completions pull the estimate below 1.
+        ctl.observe_sojourn(12.0, 0.01)
+        ctl.observe_sojourn(12.5, 0.01)
+        assert ctl.sojourn_estimate < 1.0
+        ctl.observe_sojourn(15.0, 0.01)  # dwell met
+        assert ctl.drop_level == 0
+        assert ctl.state == "normal"
+
+    def test_nonfinite_sojourn_samples_ignored(self):
+        ctl = _codel_controller()
+        ctl.observe_sojourn(0.0, math.nan)
+        ctl.observe_sojourn(0.0, -1.0)
+        assert ctl.sojourn_estimate == 0.0
+        assert ctl.drop_level == 0
+
+
+# ---------------------------------------------------------------------------
+# Durability: state_dict / load_state
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionStateRoundTrip:
+    def test_mid_stream_round_trip_is_bit_exact(self):
+        def drive(ctl, times):
+            out = []
+            for i, t in enumerate(times):
+                ctl.reseed(t, 4.0 if i % 3 else 2.0)
+                out.append(ctl.decide(t, i % 3))
+                ctl.observe_sojourn(t + 0.1, 2.0 + i)
+            return out
+
+        config = AdmissionConfig(classes=3)
+        a = AdmissionController(config)
+        drive(a, [0.0, 1.0, 2.5, 7.0, 13.0])
+        snapshot = a.state_dict()
+
+        b = AdmissionController(config)
+        b.load_state(snapshot)
+        assert b.state_dict() == snapshot
+        tail = [20.0, 21.5, 26.0, 33.0]
+        assert drive(a, tail) == drive(b, tail)
+        assert a.state_dict() == b.state_dict()
+
+    def test_pending_transitions_survive_the_round_trip(self):
+        a = AdmissionController(AdmissionConfig())
+        a.reseed(0.0, 1.0)
+        a.reseed(1.0, 0.0)  # queues a normal -> shed-all transition
+        b = AdmissionController(AdmissionConfig())
+        b.load_state(a.state_dict())
+        assert b.drain_transitions() == [(1.0, "normal", "shed-all")]
+
+
+# ---------------------------------------------------------------------------
+# Client-side: retry policy and workload (satellite coverage)
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"budget": -1},
+            {"budgets": (2, -1)},
+            {"timeout": 0.0},
+            {"timeout": math.nan},
+            {"base_backoff": 0.0},
+            {"backoff_factor": 0.5},
+            {"max_backoff": -1.0},
+            {"jitter": 1.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            RetryPolicy(**kwargs)
+
+    def test_budget_per_class_override(self):
+        policy = RetryPolicy(budget=3, budgets=(0, 2))
+        assert policy.budget_for(0) == 0
+        assert policy.budget_for(1) == 2
+        assert policy.budget_for(5) == 3  # beyond the override tuple
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff=1.0, backoff_factor=2.0, max_backoff=5.0, jitter=0.0
+        )
+        delays = [policy.backoff_delay(a, 0.5) for a in (1, 2, 3, 4, 5)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_brackets_the_mean(self):
+        policy = RetryPolicy(base_backoff=2.0, jitter=0.5)
+        low = policy.backoff_delay(1, 0.0)
+        high = policy.backoff_delay(1, 1.0)
+        assert low == pytest.approx(1.0)
+        assert high == pytest.approx(3.0)
+
+    def test_infinite_timeout_is_the_default(self):
+        assert RetryPolicy().timeout == math.inf
+
+
+class TestClientWorkload:
+    def test_share_validation(self):
+        with pytest.raises(ParameterError):
+            ClientWorkload(class_shares=())
+        with pytest.raises(ParameterError):
+            ClientWorkload(class_shares=(0.0, 0.0))
+        with pytest.raises(ParameterError):
+            ClientWorkload(class_shares=(1.0, -0.5))
+
+    def test_draw_class_partitions_the_unit_interval(self):
+        wl = ClientWorkload(class_shares=(0.2, 0.3, 0.5))
+        assert wl.n_classes == 3
+        assert wl.draw_class(0.1) == 0
+        assert wl.draw_class(0.25) == 1
+        assert wl.draw_class(0.6) == 2
+        assert wl.draw_class(0.999999) == 2
+
+    def test_shares_are_normalized_not_required_to_sum_to_one(self):
+        wl = ClientWorkload(class_shares=(2.0, 2.0))
+        assert wl.draw_class(0.49) == 0
+        assert wl.draw_class(0.51) == 1
+
+    def test_offer_defaults(self):
+        offer = Offer()
+        assert offer.cls == 0 and offer.attempt == 0
+
+
+# ---------------------------------------------------------------------------
+# RateTrace input validation (satellite coverage)
+# ---------------------------------------------------------------------------
+
+
+class TestRateTraceValidation:
+    def test_negative_or_zero_rates_rejected(self):
+        with pytest.raises(ParameterError, match="initial_rate"):
+            RateTrace(-1.0)
+        with pytest.raises(ParameterError, match="no Poisson stream"):
+            RateTrace(1.0, ((5.0, 0.0),))
+        with pytest.raises(ParameterError, match="no Poisson stream"):
+            RateTrace(1.0, ((5.0, -2.0),))
+
+    def test_non_monotone_boundaries_rejected(self):
+        with pytest.raises(ParameterError, match="strictly increase"):
+            RateTrace(1.0, ((5.0, 2.0), (5.0, 3.0)))
+        with pytest.raises(ParameterError, match="strictly increase"):
+            RateTrace(1.0, ((5.0, 2.0), (3.0, 3.0)))
+
+    def test_nonfinite_boundary_rejected(self):
+        with pytest.raises(ParameterError, match="change time"):
+            RateTrace(1.0, ((math.inf, 2.0),))
+        with pytest.raises(ParameterError, match="change time"):
+            RateTrace(1.0, ((-1.0, 2.0),))
+
+    def test_malformed_step_pairs_rejected(self):
+        with pytest.raises(ParameterError, match="pairs"):
+            RateTrace(1.0, (5.0,))
+
+    def test_burst_constructor_shape(self):
+        trace = RateTrace.burst(2.0, at=10.0, factor=2.5, duration=4.0)
+        assert trace.rate_at(9.9) == 2.0
+        assert trace.rate_at(10.0) == 5.0
+        assert trace.rate_at(13.9) == 5.0
+        assert trace.rate_at(14.0) == 2.0
+        with pytest.raises(ParameterError):
+            RateTrace.burst(2.0, at=10.0, factor=0.0, duration=4.0)
+        with pytest.raises(ParameterError):
+            RateTrace.burst(2.0, at=10.0, factor=2.0, duration=0.0)

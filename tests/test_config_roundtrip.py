@@ -16,6 +16,7 @@ from repro.core.response import Discipline
 from repro.faults.supervisor import SupervisorConfig
 from repro.obs import ObsConfig, ObsError
 from repro.recovery import RecoveryConfig
+from repro.runtime.admission import AdmissionConfig
 from repro.runtime.loop import RuntimeConfig
 from repro.runtime.policies import RoutingConfig
 
@@ -43,6 +44,17 @@ CASES = [
         ),
     ),
     (
+        AdmissionConfig,
+        AdmissionConfig(
+            classes=4,
+            policy="codel",
+            bucket_depth=16.0,
+            reserve=0.25,
+            target_delay=2.5,
+            min_dwell=3.0,
+        ),
+    ),
+    (
         RuntimeConfig,
         RuntimeConfig(
             discipline=Discipline.PRIORITY,
@@ -52,6 +64,7 @@ CASES = [
             obs=ObsConfig(enabled=True, metrics=False),
             recovery=RecoveryConfig(enabled=True, directory="x", fsync=True),
             routing=RoutingConfig(policy="jiq"),
+            admission=AdmissionConfig(classes=2, policy="token-bucket"),
         ),
     ),
 ]
@@ -102,6 +115,16 @@ def test_optional_routing_arm_round_trips():
     rebuilt = RuntimeConfig.from_dict(cfg.to_dict())
     assert isinstance(rebuilt.routing, RoutingConfig)
     assert rebuilt.routing.d == 3
+
+
+def test_optional_admission_arm_round_trips():
+    # admission is `AdmissionConfig | None`: both arms must survive.
+    assert RuntimeConfig.from_dict(RuntimeConfig().to_dict()).admission is None
+    cfg = RuntimeConfig(admission=AdmissionConfig(classes=5, reserve=0.75))
+    rebuilt = RuntimeConfig.from_dict(cfg.to_dict())
+    assert isinstance(rebuilt.admission, AdmissionConfig)
+    assert rebuilt.admission.classes == 5
+    assert rebuilt.admission.reserve == 0.75
 
 
 def test_unknown_key_in_nested_config_rejected():

@@ -446,6 +446,132 @@ class TestCrashEquivalence:
 
 
 # ---------------------------------------------------------------------------
+# Admission-control crash equivalence (overload-survival layer)
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionCrashEquivalence:
+    """A crash during an overload burst — admission shedding active,
+    retries mid-backoff in flight — must replay to the identical
+    routed-task sequence.  The admission controller is deterministic,
+    so the journal's ``(cls, att)``-stamped routes plus ``rt``-stamped
+    completions reconstruct its exact state."""
+
+    @pytest.mark.parametrize("policy", ["pod", "swrr"])
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_crash_mid_burst_matches_baseline(self, tmp_path, group, seed, policy):
+        from repro.runtime.admission import AdmissionConfig
+        from repro.sim.arrivals import ClientWorkload, RetryPolicy
+
+        rate = 0.7 * group.max_generic_rate
+        trace = RateTrace.burst(rate, at=80.0, factor=2.0, duration=120.0)
+        workload = ClientWorkload(
+            class_shares=(0.3, 0.3, 0.4),
+            retry=RetryPolicy(
+                budget=3, timeout=6.0, base_backoff=3.0, max_backoff=30.0
+            ),
+        )
+        admission = AdmissionConfig(
+            classes=3, target_delay=3.0, interval=12.0, sojourn_tc=15.0
+        )
+        routing = RoutingConfig(policy=policy, d=2)
+        crash_at = 120.0 + 30.0 * seed  # inside or just after the burst
+
+        def run(directory, crash):
+            config = (
+                _config(directory, routing=routing, admission=admission)
+                if directory
+                else RuntimeConfig(routing=routing, admission=admission)
+            )
+            plan = _crash_plan(crash, seed=seed) if crash is not None else None
+            return run_closed_loop(
+                group,
+                trace,
+                config,
+                horizon=HORIZON,
+                seed=seed,
+                fault_plan=plan,
+                collect_tasks=True,
+                workload=workload,
+            )
+
+        baseline = run(None, None)
+        crashed = run(str(tmp_path / "rec"), crash_at)
+
+        # The scenario must actually have the storm in flight: sheds
+        # happened and retries were offered before the crash point.
+        assert baseline.sim.generic_shed > 0
+        assert baseline.sim.generic_retried > 0
+
+        assert len(crashed.restores) == 1
+        report = crashed.restores[0]
+        assert report.divergences == 0
+        assert report.dropped_lines == 0
+
+        assert _generic_tasks(baseline) == _generic_tasks(crashed)
+        assert baseline.runtime.resolve_log == crashed.runtime.resolve_log
+        assert dataclasses.asdict(baseline.metrics.counters) == dataclasses.asdict(
+            crashed.metrics.counters
+        )
+        # Admission ledgers and brownout state restore bit-exactly too.
+        assert (
+            baseline.runtime._admission.state_dict()
+            == crashed.runtime._admission.state_dict()
+        )
+        assert (
+            baseline.metrics.admission.decisions
+            == crashed.metrics.admission.decisions
+        )
+
+        # The journal speaks the stamped schema: routes carry the offer
+        # class/attempt, completions the response time the AQM consumed.
+        scan = read_journal(os.path.join(str(tmp_path / "rec"), JOURNAL_NAME))
+        routes = [r for r in scan.records if r.kind == "route"]
+        completes = [r for r in scan.records if r.kind == "complete"]
+        assert routes and all("cls" in r.data for r in routes)
+        assert any(r.data.get("att", 0) > 0 for r in routes)  # retries in flight
+        assert completes and all("rt" in r.data for r in completes)
+
+    def test_admission_snapshot_round_trips_through_checkpoint(
+        self, tmp_path, group
+    ):
+        from repro.runtime.admission import AdmissionConfig
+        from repro.sim.arrivals import ClientWorkload, RetryPolicy
+
+        d = str(tmp_path / "rec")
+        config = _config(d, admission=AdmissionConfig())
+        run_closed_loop(
+            group,
+            RateTrace.constant(RATE),
+            config,
+            horizon=HORIZON,
+            seed=6,
+            workload=ClientWorkload(
+                class_shares=(0.5, 0.5), retry=RetryPolicy(budget=1)
+            ),
+        )
+        _, path = list_checkpoints(d)[-1]
+        snapshot = json.load(open(path, encoding="utf-8"))
+        assert snapshot["schema"] == SCHEMA_VERSION
+        assert snapshot["admission"] is not None
+        assert snapshot["admission"]["state"] in (
+            "normal",
+            "brownout",
+            "shed-all",
+        )
+
+    def test_admission_state_without_controller_is_rejected(self, tmp_path, group):
+        d = str(tmp_path / "rec")
+        _run(group, d, seed=2)
+        _, path = list_checkpoints(d)[-1]
+        snapshot = json.load(open(path, encoding="utf-8"))
+        snapshot["admission"] = {"state": "normal"}
+        runtime = LoadDistributionRuntime(group, RATE, _config(d), _restore=True)
+        with pytest.raises(RecoveryError, match="admission"):
+            CheckpointCodec().restore(runtime, snapshot, path=path)
+
+
+# ---------------------------------------------------------------------------
 # RNG state capture (satellite: bit-exact stream restore)
 # ---------------------------------------------------------------------------
 

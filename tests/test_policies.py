@@ -152,6 +152,25 @@ class TestJoinIdleQueue:
         freqs = np.bincount(picks, minlength=2) / picks.size
         np.testing.assert_allclose(freqs, weights, atol=0.01)
 
+    def test_fallback_counter_tracks_prior_samples(self):
+        # Saturation telemetry: every pick answered by the alias prior
+        # (idle stack empty) is counted and survives the snapshot.
+        router = JoinIdleQueueRouter([0.6, 0.4], np.random.default_rng(7))
+        assert router.fallbacks == 0
+        router.pick(), router.pick()  # drain the idle stack
+        router.pick()
+        router.pick()
+        assert router.fallbacks == 2
+        state = router.state_dict()
+        assert state["fallbacks"] == 2
+        other = JoinIdleQueueRouter([0.6, 0.4], np.random.default_rng(8))
+        other.load_state(state)
+        assert other.fallbacks == 2
+        # Snapshots from before the counter existed default to zero.
+        state.pop("fallbacks")
+        other.load_state(state)
+        assert other.fallbacks == 0
+
     def test_zero_weight_server_never_picked(self):
         router = JoinIdleQueueRouter([0.5, 0.0, 0.5], np.random.default_rng(2))
         # Not on the initial stack, not in the fallback support, and a
